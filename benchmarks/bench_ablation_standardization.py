@@ -1,0 +1,101 @@
+"""Ablation — the value of standardization in data reading.
+
+The paper's running example hinges on data reading: only after "fiber" is
+standardized to "fibre" and "timber" to "wood" do e4 and e5 join the
+blocks where their matches live.  This ablation reproduces that mechanism
+at dataset scale: a systematic vocabulary variation (a "dialect" — think
+US/GB spelling or source-specific abbreviations, with a known dictionary)
+is injected into a generated dataset, and the same pipeline runs once with
+a standardizer that knows the dictionary and once with lowercasing only.
+"""
+
+from __future__ import annotations
+
+import random
+
+from common import save_result
+
+from repro.classification import OracleClassifier
+from repro.core import StreamERConfig, StreamERPipeline
+from repro.datasets import DatasetSpec, generate
+from repro.evaluation import format_table, pair_completeness
+from repro.reading import ProfileBuilder, Standardizer
+from repro.types import EntityDescription
+
+DIALECT_RATE = 0.35  # fraction of token occurrences written in the dialect
+
+
+def dialected_dataset():
+    """A generated dataset with a systematic spelling variation injected."""
+    ds = generate(
+        DatasetSpec(
+            name="dialect", kind="dirty", size=1_200, matches=800,
+            avg_attributes=5.0, vocab_rare=12_000, seed=303,
+        )
+    )
+    rng = random.Random(9)
+    dictionary: dict[str, str] = {}  # dialect form -> canonical form
+
+    def dialect(token: str) -> str:
+        variant = token + "e" if not token.endswith("e") else token[:-1]
+        dictionary[variant] = token
+        return variant
+
+    entities = []
+    for entity in ds.entities:
+        attributes = []
+        for name, value in entity.attributes:
+            tokens = [
+                dialect(t) if rng.random() < DIALECT_RATE else t
+                for t in value.split()
+            ]
+            attributes.append((name, " ".join(tokens)))
+        entities.append(
+            EntityDescription(eid=entity.eid, attributes=tuple(attributes), source=None)
+        )
+    ds.entities = entities
+    return ds, dictionary
+
+
+def run(ds, dictionary: dict[str, str] | None) -> dict[str, object]:
+    if dictionary is not None:
+        builder = ProfileBuilder(
+            standardizer=Standardizer(
+                spelling=dictionary, abbreviations={}, synonyms={}, stem_plurals=False
+            )
+        )
+        label = "standardizer with variant dictionary"
+    else:
+        builder = ProfileBuilder(
+            standardizer=Standardizer(
+                spelling={}, abbreviations={}, synonyms={}, stem_plurals=False
+            )
+        )
+        label = "lowercase only"
+    config = StreamERConfig(
+        alpha=StreamERConfig.alpha_for(len(ds), 0.05),
+        beta=0.05,
+        profile_builder=builder,
+        classifier=OracleClassifier.from_pairs(ds.ground_truth),
+    )
+    pipeline = StreamERPipeline(config, instrument=False)
+    result = pipeline.process_many(ds.stream())
+    return {
+        "data_reading": label,
+        "PC": round(pair_completeness(result.match_pairs, ds.ground_truth), 3),
+        "comparisons": result.comparisons_after_cleaning,
+        "rt_s": round(result.elapsed_seconds, 3),
+    }
+
+
+def test_ablation_standardization(benchmark):
+    ds, dictionary = dialected_dataset()
+    with_std = benchmark.pedantic(
+        lambda: run(ds, dictionary), rounds=1, iterations=1
+    )
+    without = run(ds, None)
+    save_result("ablation_standardization", format_table([with_std, without]))
+
+    # Standardization recovers matches hidden behind the variation —
+    # the Figure 2 narrative, quantified.
+    assert float(with_std["PC"]) > float(without["PC"]) + 0.02

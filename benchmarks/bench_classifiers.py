@@ -1,0 +1,92 @@
+"""Extension — classification strategies on the same blocking output.
+
+The paper fixes classification to a ground-truth oracle to isolate the
+blocking contribution; real deployments must actually decide.  This
+benchmark runs the identical pipeline (same blocking, same comparisons)
+with three classifiers and reports end-quality:
+
+* similarity threshold (the common strategy the paper describes),
+* a learned logistic model over similarity features (trained on a small
+  labeled sample),
+* the oracle (upper bound: PC at precision 1).
+"""
+
+from __future__ import annotations
+
+import random
+
+from common import bench_dataset, save_result
+
+from repro.classification import (
+    LearnedClassifier,
+    OracleClassifier,
+    ThresholdClassifier,
+)
+from repro.core import StreamERConfig, StreamERPipeline
+from repro.evaluation import format_table, precision_recall_f1
+from repro.reading.profiles import ProfileBuilder
+
+
+def train_learned(ds, sample=120, seed=11) -> LearnedClassifier:
+    builder = ProfileBuilder()
+    by_id = {e.eid: builder.build(e) for e in ds.entities}
+    truth = set(ds.ground_truth)
+    rng = random.Random(seed)
+    ids = sorted(by_id, key=repr)
+    positives = [(by_id[i], by_id[j], True) for i, j in sorted(truth, key=repr)[:sample]]
+    negatives = []
+    while len(negatives) < sample:
+        i, j = rng.sample(ids, 2)
+        if tuple(sorted((i, j), key=repr)) not in truth and i != j:
+            negatives.append((by_id[i], by_id[j], False))
+    return LearnedClassifier.train(positives + negatives)
+
+
+def run(name: str, label: str, classifier) -> dict[str, object]:
+    ds = bench_dataset(name)
+    config = StreamERConfig(
+        alpha=StreamERConfig.alpha_for(len(ds), 0.05),
+        beta=0.05,
+        clean_clean=ds.clean_clean,
+        classifier=classifier,
+    )
+    pipeline = StreamERPipeline(config, instrument=False)
+    result = pipeline.process_many(ds.stream())
+    precision, recall, f1 = precision_recall_f1(result.match_pairs, ds.ground_truth)
+    return {
+        "dataset": name,
+        "classifier": label,
+        "matches": len(result.match_pairs),
+        "precision": round(precision, 3),
+        "recall": round(recall, 3),
+        "f1": round(f1, 3),
+    }
+
+
+def test_classifiers(benchmark):
+    name = "ag"
+    ds = bench_dataset(name)
+    learned = train_learned(ds)
+
+    rows = [
+        benchmark.pedantic(
+            lambda: run(name, "threshold(0.5)", ThresholdClassifier(0.5)),
+            rounds=1, iterations=1,
+        ),
+        run(name, "learned logistic", learned),
+        run(name, "oracle", OracleClassifier.from_pairs(ds.ground_truth)),
+    ]
+    save_result("classifiers", format_table(rows))
+
+    by = {r["classifier"]: r for r in rows}
+    # Oracle is the upper bound on both axes.
+    assert by["oracle"]["precision"] == 1.0
+    for label in ("threshold(0.5)", "learned logistic"):
+        assert by[label]["recall"] <= by["oracle"]["recall"] + 1e-9
+    # The learned model recovers more true matches than the fixed
+    # threshold (it learned where the decision boundary actually lies)
+    # while keeping F1 high — on this synthetic data the duplicates are
+    # clean enough that a hand-picked threshold is already near-optimal,
+    # so the learned model's advantage shows on recall, not on F1.
+    assert by["learned logistic"]["recall"] >= by["threshold(0.5)"]["recall"]
+    assert by["learned logistic"]["f1"] > 0.85

@@ -1,0 +1,69 @@
+"""Figure 10 — incremental ER runtimes on the movies dataset.
+
+The dataset is split into a varying number of equally sized increments and
+processed end to end by the four approaches: I-WNP (ours), Batch
+(recomputed per increment, comparisons not repeated), PI-Block, and I-WNP
+without block cleaning.
+
+Expected shape (paper): I-WNP's total runtime is flat in the number of
+increments and the fastest overall; Batch grows with the number of
+increments; the no-block-cleaning approaches (PI-Block, I-WNP No BC) are
+slowest.  PC ≈ 0.90 for BC+CC approaches vs ≈ 0.97 for CC-only ones.
+"""
+
+from __future__ import annotations
+
+from common import bench_dataset, save_result
+
+from repro.classification import OracleClassifier
+from repro.evaluation import format_table
+from repro.incremental import run_incremental_comparison
+
+INCREMENT_COUNTS = (2, 5, 10)
+
+
+def run_all() -> list[dict[str, object]]:
+    ds = bench_dataset("movies")
+    oracle = OracleClassifier.from_pairs(ds.ground_truth)
+    rows = []
+    for n in INCREMENT_COUNTS:
+        for run in run_incremental_comparison(ds, n, oracle):
+            rows.append(
+                {
+                    "increments": n,
+                    "approach": run.approach,
+                    "total_s": round(run.total_seconds, 3),
+                    "PC": round(run.pair_completeness, 3),
+                    "matches": run.matches_found,
+                }
+            )
+    return rows
+
+
+def test_fig10_incremental(benchmark):
+    rows = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    save_result("fig10_incremental", format_table(rows))
+
+    by_key = {(r["increments"], r["approach"]): r for r in rows}
+    for n in INCREMENT_COUNTS:
+        ours = by_key[(n, "I-WNP")]
+        # The no-block-cleaning approaches are always slower than ours...
+        for approach in ("PI-Block", "I-WNP (No BC)"):
+            assert ours["total_s"] <= by_key[(n, approach)]["total_s"], (n, approach)
+        # ...and CC-only approaches have (at least) our completeness.
+        assert by_key[(n, "I-WNP (No BC)")]["PC"] >= ours["PC"]
+
+    # At many increments ours beats Batch too (the curves cross as Batch's
+    # per-increment recomputation grows).
+    assert (
+        by_key[(10, "I-WNP")]["total_s"] <= by_key[(10, "Batch")]["total_s"]
+    )
+
+    # Batch grows with the number of increments; ours stays stable.
+    batch_growth = (
+        by_key[(10, "Batch")]["total_s"] / max(by_key[(2, "Batch")]["total_s"], 1e-9)
+    )
+    ours_growth = (
+        by_key[(10, "I-WNP")]["total_s"] / max(by_key[(2, "I-WNP")]["total_s"], 1e-9)
+    )
+    assert batch_growth > ours_growth

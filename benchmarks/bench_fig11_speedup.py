@@ -1,0 +1,102 @@
+"""Figure 11 — speedup of PP and MPP on dbpedia, 8 to 25 processes.
+
+Per-stage service times are measured from a *real* instrumented sequential
+run over the dbpedia-like dataset, then fed into the discrete-event
+simulator that models the paper's 16-core machine, per-message overhead,
+bounded buffers, and (for MPP) micro-batch aggregation — see DESIGN.md §3
+for why this substitution preserves the phenomena.
+
+Expected shape (paper): PP ≈ 1.1 at 8 processes (little gain), MPP ≈ 1.7;
+both rise with the process count, peak around P = 19 (PP ≈ 8, MPP ≈ 9.5,
+MPP consistently above PP), and stagnate once workers exceed the 16 cores.
+Additionally reports absolute runtimes in the spirit of §V-C (SEQ vs PP vs
+MPP with 25 processes) and verifies the parallel variants lose no quality
+(same matches as SEQ, by construction of the thread framework).
+"""
+
+from __future__ import annotations
+
+from common import bench_dataset, oracle_config, save_result
+
+from repro.evaluation import format_table, line_chart
+from repro.parallel import (
+    ServiceModel,
+    SimulatorConfig,
+    calibrate_service_model,
+    simulate_speedup,
+)
+
+PROCESS_COUNTS = (8, 11, 15, 19, 22, 25)
+SIM_ITEMS = 6000
+
+
+def calibrate() -> tuple[ServiceModel, float]:
+    """Measure per-stage service times on the dbpedia-like dataset."""
+    ds = bench_dataset("dbpedia")
+    service = calibrate_service_model(
+        ds.entities, oracle_config(ds, alpha_fraction=0.005)
+    )
+    return service, service.mean_total() * len(ds.entities)
+
+
+def speedup_curves(service: ServiceModel) -> list[dict[str, object]]:
+    comm = 0.05 * service.mean_total()
+    rows = []
+    for processes in PROCESS_COUNTS:
+        pp, _ = simulate_speedup(
+            service, processes, n_items=SIM_ITEMS,
+            config=SimulatorConfig(comm_overhead=comm, buffer_capacity=16,
+                                   micro_batch_size=1),
+        )
+        mpp, _ = simulate_speedup(
+            service, processes, n_items=SIM_ITEMS,
+            config=SimulatorConfig(comm_overhead=comm, buffer_capacity=150,
+                                   micro_batch_size=100),
+        )
+        rows.append(
+            {"processes": processes, "PP": round(pp, 2), "MPP": round(mpp, 2)}
+        )
+    return rows
+
+
+def test_fig11_speedup(benchmark):
+    service, seq_seconds = calibrate()
+    rows = benchmark.pedantic(lambda: speedup_curves(service), rounds=1, iterations=1)
+
+    by_p = {r["processes"]: r for r in rows}
+    peak_pp = max(float(r["PP"]) for r in rows)
+    peak_mpp = max(float(r["MPP"]) for r in rows)
+    summary = [
+        f"simulated sequential per-entity cost: {service.mean_total() * 1e3:.3f} ms",
+        f"measured SEQ total: {seq_seconds:.1f} s",
+        f"projected PP(25): {seq_seconds / float(by_p[25]['PP']):.1f} s, "
+        f"MPP(25): {seq_seconds / float(by_p[25]['MPP']):.1f} s",
+        f"peak speedup: PP {peak_pp}, MPP {peak_mpp} (paper: 8 / 9.5)",
+        "",
+        format_table(rows),
+        "",
+        line_chart(
+            {
+                "PP": [(r["processes"], float(r["PP"])) for r in rows],
+                "MPP": [(r["processes"], float(r["MPP"])) for r in rows],
+            },
+            x_label="processes",
+            y_label="speedup",
+        ),
+    ]
+    save_result("fig11_speedup", "\n".join(summary))
+
+    # Shape assertions mirroring the paper's findings.  At P=8 the paper
+    # measures only 1.12 (PP) / 1.67 (MPP); our simulator's overhead model
+    # is milder, but P=8 must remain the worst point of the curve and far
+    # below the peak.
+    assert float(by_p[8]["PP"]) == min(float(r["PP"]) for r in rows)
+    assert float(by_p[8]["PP"]) < 0.6 * peak_pp
+    assert float(by_p[8]["MPP"]) >= float(by_p[8]["PP"])  # micro-batching helps
+    assert float(by_p[19]["PP"]) > 1.5 * float(by_p[8]["PP"])  # strong rise
+    for p in PROCESS_COUNTS:
+        assert float(by_p[p]["MPP"]) >= float(by_p[p]["PP"]) * 0.9
+    # Saturation past the 16 cores: 25 processes barely beat 19.
+    assert float(by_p[25]["PP"]) <= float(by_p[19]["PP"]) * 1.3
+    assert 4.0 <= peak_pp <= 14.0
+    assert 6.0 <= peak_mpp <= 16.0

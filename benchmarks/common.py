@@ -1,0 +1,62 @@
+"""Shared utilities for the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper's evaluation
+(§V) on the synthetic Table II datasets, prints the same rows/series the
+paper reports, and archives them under ``benchmarks/results/`` so that
+EXPERIMENTS.md can quote them.
+
+Scales are chosen so the full harness completes in minutes on one box; the
+*relative* dataset sizes of the paper (dbpedia ≫ movies ≫ the rest) are
+preserved.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.classification import OracleClassifier
+from repro.core import StreamERConfig
+from repro.datasets import GeneratedDataset, load
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+#: Per-benchmark dataset scales (fractions of the real Table II sizes).
+BENCH_SCALES: dict[str, float] = {
+    "cora": 1.0,
+    "cddb": 0.5,
+    "ag": 0.5,
+    "movies": 0.08,
+    "dbpedia": 0.008,
+}
+
+
+def bench_dataset(name: str) -> GeneratedDataset:
+    """The (memoized) benchmark-scale instance of a catalog dataset."""
+    return load(name, scale=BENCH_SCALES[name])
+
+
+def oracle_config(
+    dataset: GeneratedDataset,
+    alpha_fraction: float = 0.05,
+    beta: float = 0.05,
+    enable_block_cleaning: bool = True,
+    enable_comparison_cleaning: bool = True,
+) -> StreamERConfig:
+    """Stream config with the paper's oracle ('perfect') classifier."""
+    return StreamERConfig(
+        alpha=StreamERConfig.alpha_for(len(dataset), alpha_fraction),
+        beta=beta,
+        enable_block_cleaning=enable_block_cleaning,
+        enable_comparison_cleaning=enable_comparison_cleaning,
+        clean_clean=dataset.clean_clean,
+        classifier=OracleClassifier.from_pairs(dataset.ground_truth),
+    )
+
+
+def save_result(name: str, text: str) -> Path:
+    """Print a result block and archive it under benchmarks/results/."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{name}.txt"
+    path.write_text(text + "\n", encoding="utf-8")
+    print(f"\n{text}\n[saved to {path}]")
+    return path

@@ -1,0 +1,58 @@
+"""Clean-clean ER: link two clean catalogs against each other.
+
+Two shops each publish a duplicate-free catalog describing overlapping
+products with different schemas and conventions.  ``combine`` merges the
+two streams under (source, id) identifiers and the pipeline only pairs
+descriptions across sources — §III-B of the paper.
+
+Run:  python examples/clean_clean_linkage.py
+"""
+
+from __future__ import annotations
+
+from repro import StreamERConfig, StreamERPipeline
+from repro.classification import OracleClassifier
+from repro.datasets import DatasetSpec, generate
+from repro.evaluation import pair_completeness
+
+
+def main() -> None:
+    # A clean-clean dataset: shop x (900 items) and shop y (1 100 items),
+    # about 700 cross-catalog links; identifiers already carry the source.
+    dataset = generate(
+        DatasetSpec(
+            name="two-shops", kind="clean-clean", size=(900, 1_100),
+            matches=700, avg_attributes=5.0, heterogeneity=0.5,
+            vocab_rare=15_000, seed=7,
+        )
+    )
+    left = sum(1 for e in dataset.entities if e.source == "x")
+    print(f"shop x: {left} items, shop y: {len(dataset) - left} items, "
+          f"{len(dataset.ground_truth)} true links")
+
+    config = StreamERConfig(
+        alpha=StreamERConfig.alpha_for(len(dataset), 0.05),
+        beta=0.05,
+        clean_clean=True,
+        # The paper's evaluation classifies via ground-truth lookup
+        # ("perfect classifier") so PC isolates the blocking quality.
+        classifier=OracleClassifier.from_pairs(dataset.ground_truth),
+    )
+    pipeline = StreamERPipeline(config, instrument=False)
+    result = pipeline.process_many(dataset.stream())
+
+    pc = pair_completeness(result.match_pairs, dataset.ground_truth)
+    print(f"\nlinked {len(result.match_pairs)} pairs in {result.elapsed_seconds:.2f}s")
+    print(f"pair completeness: {pc:.3f}")
+    print(f"comparisons executed: {result.comparisons_after_cleaning} "
+          f"(naive cross product would be {left * (len(dataset) - left)})")
+
+    print("\nsample links:")
+    for match in result.matches[:5]:
+        print(f"  {match.left}  <->  {match.right}")
+    # Every link is cross-source by construction:
+    assert all(i[0] != j[0] for i, j in result.match_pairs)
+
+
+if __name__ == "__main__":
+    main()

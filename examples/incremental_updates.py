@@ -1,0 +1,57 @@
+"""Incremental maintenance vs periodic recomputation.
+
+A finite dataset is updated in increments (the paper's incremental-ER
+setting).  This example contrasts three strategies on the same updates:
+
+* our incremental pipeline (state carried across increments),
+* the batch workflow recomputed over all collected data per increment,
+* PI-Block, the incremental meta-blocking baseline (no block cleaning).
+
+It prints per-increment and cumulative runtimes — the paper's Figure 10
+in miniature — plus final quality for each strategy.
+
+Run:  python examples/incremental_updates.py
+"""
+
+from __future__ import annotations
+
+from repro.classification import OracleClassifier
+from repro.datasets import DatasetSpec, generate
+from repro.incremental import run_incremental_comparison
+
+
+def main() -> None:
+    dataset = generate(
+        DatasetSpec(
+            name="updates", kind="clean-clean", size=(1_200, 1_000),
+            matches=900, avg_attributes=5.0, heterogeneity=0.5,
+            vocab_rare=15_000, seed=31,
+        )
+    )
+    oracle = OracleClassifier.from_pairs(dataset.ground_truth)
+    n_increments = 6
+    print(
+        f"dataset: {len(dataset)} descriptions arriving in "
+        f"{n_increments} increments\n"
+    )
+
+    runs = run_incremental_comparison(dataset, n_increments, oracle)
+    for run in runs:
+        per_inc = " ".join(f"{s * 1e3:7.0f}" for s in run.per_increment_seconds)
+        print(f"{run.approach:14s} total={run.total_seconds:6.2f}s  "
+              f"PC={run.pair_completeness:.3f}")
+        print(f"{'':14s} per-increment ms: {per_inc}")
+
+    ours = next(r for r in runs if r.approach == "I-WNP")
+    batch = next(r for r in runs if r.approach == "Batch")
+    print(
+        f"\nour per-increment cost stays flat while the batch baseline's "
+        f"grows with the collected data\n(ours last/first = "
+        f"{ours.per_increment_seconds[-1] / ours.per_increment_seconds[0]:.1f}x, "
+        f"batch last/first = "
+        f"{batch.per_increment_seconds[-1] / batch.per_increment_seconds[0]:.1f}x)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,49 @@
+"""repro — reproduction of "End-to-end Task Based Parallelization for
+Entity Resolution on Dynamic Data" (Gazzarri & Herschel, ICDE 2021).
+
+The package provides:
+
+* a functional model for ER on dynamic data (:mod:`repro.core.model`),
+* an optimized sequential pipeline (:class:`repro.core.StreamERPipeline`),
+* a task-parallel framework with micro-batching (:mod:`repro.parallel`),
+* batch and PI-Block baselines (:mod:`repro.batch`, :mod:`repro.piblock`),
+* synthetic datasets mirroring the paper's evaluation data
+  (:mod:`repro.datasets`), and
+* the evaluation metrics of §V (:mod:`repro.evaluation`).
+
+Quickstart::
+
+    from repro import StreamERConfig, StreamERPipeline
+    from repro.types import EntityDescription
+
+    pipeline = StreamERPipeline(StreamERConfig(alpha=100, beta=0.1))
+    for entity in my_stream:
+        for match in pipeline.process(entity):
+            print("match:", match.left, match.right)
+"""
+
+from repro.core import (
+    ERResult,
+    StreamERConfig,
+    StreamERPipeline,
+    combine,
+    fold_er,
+    stream_er,
+)
+from repro.types import Comparison, EntityDescription, Match, Profile
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "StreamERConfig",
+    "StreamERPipeline",
+    "ERResult",
+    "EntityDescription",
+    "Profile",
+    "Comparison",
+    "Match",
+    "combine",
+    "fold_er",
+    "stream_er",
+    "__version__",
+]

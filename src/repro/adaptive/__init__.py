@@ -1,0 +1,12 @@
+"""Self-tuning extensions (the paper's stated future work, §VI):
+online β control for block ghosting and dynamic process reallocation."""
+
+from repro.adaptive.allocator import DynamicAllocator, Reallocation
+from repro.adaptive.beta_controller import BetaController, SelfTuningERPipeline
+
+__all__ = [
+    "BetaController",
+    "SelfTuningERPipeline",
+    "DynamicAllocator",
+    "Reallocation",
+]

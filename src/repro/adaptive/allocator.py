@@ -1,0 +1,121 @@
+"""Self-tuning process allocation: rebalance workers from live timings.
+
+§IV-B solves the allocation once, from an offline profiling run.  A
+self-tuning framework (the paper's stated future work) should instead
+watch the *live* per-stage service times and move workers from overserved
+to bottleneck stages.  This module provides that policy layer: it
+consumes rolling stage-time measurements and emits reallocation decisions,
+which the simulator (and, in principle, a worker pool manager) applies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.stages import STAGE_ORDER
+from repro.errors import ConfigurationError
+from repro.parallel.allocation import FIXED_STAGES, allocate_processes, bottleneck_time
+
+
+@dataclass(frozen=True)
+class Reallocation:
+    """One recommended change of the worker assignment."""
+
+    from_stage: str
+    to_stage: str
+    before: dict[str, int]
+    after: dict[str, int]
+    bottleneck_before: float
+    bottleneck_after: float
+
+    @property
+    def improvement(self) -> float:
+        """Relative bottleneck-time reduction (0 = none)."""
+        if self.bottleneck_before <= 0:
+            return 0.0
+        return 1.0 - self.bottleneck_after / self.bottleneck_before
+
+
+class DynamicAllocator:
+    """Rolling-measurement reallocation policy.
+
+    Feed it per-stage service-time observations (seconds of work per
+    entity, or per batch — any consistent unit); every ``interval``
+    observations it recomputes the optimal assignment for the same total
+    process count and, when moving a single worker would reduce the
+    bottleneck by at least ``min_improvement``, recommends that move.
+    """
+
+    def __init__(
+        self,
+        initial_allocation: dict[str, int],
+        interval: int = 200,
+        min_improvement: float = 0.05,
+        smoothing: float = 0.2,
+    ) -> None:
+        missing = [s for s in STAGE_ORDER if s not in initial_allocation]
+        if missing:
+            raise ConfigurationError(f"allocation missing stages: {missing}")
+        if not 0.0 < smoothing <= 1.0:
+            raise ConfigurationError("smoothing must be in (0, 1]")
+        self.allocation = dict(initial_allocation)
+        self.interval = interval
+        self.min_improvement = min_improvement
+        self.smoothing = smoothing
+        self._ewma: dict[str, float] = {s: 0.0 for s in STAGE_ORDER}
+        self._observations = 0
+        self.history: list[Reallocation] = []
+
+    @property
+    def stage_estimates(self) -> dict[str, float]:
+        return dict(self._ewma)
+
+    def observe(self, stage_seconds: dict[str, float]) -> Reallocation | None:
+        """Fold one measurement in; returns a recommendation when due."""
+        for stage, seconds in stage_seconds.items():
+            if stage in self._ewma:
+                self._ewma[stage] += self.smoothing * (seconds - self._ewma[stage])
+        self._observations += 1
+        if self._observations % self.interval:
+            return None
+        return self._rebalance()
+
+    def _rebalance(self) -> Reallocation | None:
+        if any(v <= 0 for v in self._ewma.values()):
+            # Not enough signal on every stage yet.
+            incomplete = {s: max(v, 1e-12) for s, v in self._ewma.items()}
+            times = incomplete
+        else:
+            times = self._ewma
+        total = sum(self.allocation.values())
+        ideal = allocate_processes(times, total)
+        if ideal == self.allocation:
+            return None
+        # Move one worker at a time: from the most overserved stage toward
+        # the most underserved one (stable, oscillation-resistant).
+        deltas = {s: ideal[s] - self.allocation[s] for s in STAGE_ORDER}
+        to_stage = max(deltas, key=lambda s: deltas[s])
+        movable = [
+            s for s in STAGE_ORDER
+            if deltas[s] < 0 and self.allocation[s] > 1 and s not in FIXED_STAGES
+        ]
+        if deltas[to_stage] <= 0 or not movable:
+            return None
+        from_stage = min(movable, key=lambda s: deltas[s])
+        before = dict(self.allocation)
+        after = dict(self.allocation)
+        after[from_stage] -= 1
+        after[to_stage] += 1
+        change = Reallocation(
+            from_stage=from_stage,
+            to_stage=to_stage,
+            before=before,
+            after=after,
+            bottleneck_before=bottleneck_time(times, before),
+            bottleneck_after=bottleneck_time(times, after),
+        )
+        if change.improvement < self.min_improvement:
+            return None
+        self.allocation = after
+        self.history.append(change)
+        return change

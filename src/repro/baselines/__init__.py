@@ -1,0 +1,12 @@
+"""Dynamic-ER baselines for structured data, from the cited related work."""
+
+from repro.baselines.dysni import DySNI, DySNIConfig, default_sorting_key
+from repro.baselines.dysimii import DySimII, DySimIIConfig
+
+__all__ = [
+    "DySNI",
+    "DySNIConfig",
+    "default_sorting_key",
+    "DySimII",
+    "DySimIIConfig",
+]

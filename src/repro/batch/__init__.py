@@ -1,0 +1,33 @@
+"""Batch ER baseline (JedAI-style workflow) and its configuration grids."""
+
+from repro.batch.pipeline import (
+    BatchERConfig,
+    BatchERPipeline,
+    BatchERResult,
+    IncrementalBatchER,
+)
+from repro.batch.workflows import (
+    ALPHA_FRACTIONS,
+    BETA_VALUES,
+    CC_SCHEMES,
+    R_VALUES,
+    S_VALUES,
+    block_cleaning_grid,
+    comparison_cleaning_grid,
+    full_grid,
+)
+
+__all__ = [
+    "BatchERConfig",
+    "BatchERPipeline",
+    "BatchERResult",
+    "IncrementalBatchER",
+    "block_cleaning_grid",
+    "comparison_cleaning_grid",
+    "full_grid",
+    "R_VALUES",
+    "S_VALUES",
+    "ALPHA_FRACTIONS",
+    "BETA_VALUES",
+    "CC_SCHEMES",
+]

@@ -1,0 +1,59 @@
+"""Batch blocking substrate: block building methods + block cleaning.
+
+Block building: token blocking (the paper's choice for heterogeneous
+data) plus the survey alternatives — q-grams, extended q-grams, suffix
+arrays, (multi-pass) sorted neighborhood, attribute clustering.
+Block cleaning: block purging (r) and block filtering (s).
+"""
+
+from repro.blocking.attribute_clustering import (
+    attribute_clustering_blocking,
+    cluster_attributes,
+)
+from repro.blocking.filtering import block_filtering
+from repro.blocking.purging import block_purging
+from repro.blocking.qgrams import extended_qgrams_blocking, qgrams, qgrams_blocking
+from repro.blocking.sorted_neighborhood import (
+    multipass_sorted_neighborhood,
+    sorted_neighborhood_blocking,
+)
+from repro.blocking.suffix import suffix_blocking, suffixes
+from repro.blocking.token_blocking import (
+    Blocks,
+    block_cardinality,
+    count_comparisons,
+    distinct_pairs,
+    entity_block_index,
+    token_blocking,
+)
+
+#: Registry of block-building methods usable by the batch workflow.
+BLOCK_BUILDERS = {
+    "token": token_blocking,
+    "qgrams": qgrams_blocking,
+    "extended-qgrams": extended_qgrams_blocking,
+    "suffix": suffix_blocking,
+    "sorted-neighborhood": sorted_neighborhood_blocking,
+    "attribute-clustering": attribute_clustering_blocking,
+}
+
+__all__ = [
+    "Blocks",
+    "token_blocking",
+    "qgrams",
+    "qgrams_blocking",
+    "extended_qgrams_blocking",
+    "suffixes",
+    "suffix_blocking",
+    "sorted_neighborhood_blocking",
+    "multipass_sorted_neighborhood",
+    "attribute_clustering_blocking",
+    "cluster_attributes",
+    "BLOCK_BUILDERS",
+    "block_purging",
+    "block_filtering",
+    "entity_block_index",
+    "block_cardinality",
+    "count_comparisons",
+    "distinct_pairs",
+]

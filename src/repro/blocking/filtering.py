@@ -1,0 +1,34 @@
+"""Block filtering (BF): retain each entity only in its smallest blocks.
+
+For an entity appearing in the block set ``B_e``, filtering keeps it in the
+``⌊s · |B_e|⌋`` smallest blocks (at least one, so no entity silently drops
+out of the collection) and removes it from the larger ones.  The rationale:
+large blocks are general, so comparisons an entity owes to them are the
+most likely to be superfluous.
+"""
+
+from __future__ import annotations
+
+from repro.blocking.token_blocking import Blocks, entity_block_index
+from repro.errors import ConfigurationError
+from repro.types import EntityId
+
+
+def block_filtering(blocks: Blocks, s: float) -> Blocks:
+    """Return the filtered block collection (input is not modified)."""
+    if not 0.0 < s < 1.0:
+        raise ConfigurationError(f"filtering ratio s must be in (0, 1), got {s}")
+    index = entity_block_index(blocks)
+    sizes = {key: len(members) for key, members in blocks.items()}
+    retained: dict[EntityId, set[str]] = {}
+    for eid, keys in index.items():
+        keep = max(1, int(s * len(keys)))
+        # Stable tie-break on the key makes the result deterministic.
+        smallest = sorted(keys, key=lambda k: (sizes[k], k))[:keep]
+        retained[eid] = set(smallest)
+    filtered: Blocks = {}
+    for key, members in blocks.items():
+        kept_members = [eid for eid in members if key in retained[eid]]
+        if len(kept_members) >= 2:
+            filtered[key] = kept_members
+    return filtered

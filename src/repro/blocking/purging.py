@@ -1,0 +1,21 @@
+"""Block purging (BPu): drop oversized, overly general blocks.
+
+Given the largest block ``b_max`` in the collection and a ratio ``r`` with
+0 < r < 1, purging removes every block ``b`` with ``|b| > r · |b_max|``.
+"""
+
+from __future__ import annotations
+
+from repro.blocking.token_blocking import Blocks
+from repro.errors import ConfigurationError
+
+
+def block_purging(blocks: Blocks, r: float) -> Blocks:
+    """Return the purged block collection (input is not modified)."""
+    if not 0.0 < r < 1.0:
+        raise ConfigurationError(f"purging ratio r must be in (0, 1), got {r}")
+    if not blocks:
+        return {}
+    max_size = max(len(members) for members in blocks.values())
+    bound = r * max_size
+    return {key: members for key, members in blocks.items() if len(members) <= bound}

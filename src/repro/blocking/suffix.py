@@ -1,0 +1,49 @@
+"""Suffix-arrays blocking.
+
+Blocks entities on the suffixes (of at least ``min_length`` characters) of
+their tokens; suffixes common to too many entities are dropped via the
+``max_block_size`` bound, which is the method's built-in frequency pruning
+(de Vries et al.; surveyed by Christen).  Robust to prefix corruption and
+to prefix-varying spellings ("färber"/"farber" share "arber").
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.blocking.token_blocking import Blocks
+from repro.errors import ConfigurationError
+from repro.types import Profile
+
+
+def suffixes(token: str, min_length: int = 4) -> list[str]:
+    """All suffixes of the token no shorter than ``min_length``."""
+    if len(token) <= min_length:
+        return [token]
+    return [token[i:] for i in range(len(token) - min_length + 1)]
+
+
+def suffix_blocking(
+    profiles: Iterable[Profile],
+    min_length: int = 4,
+    max_block_size: int | None = 50,
+    min_block_size: int = 2,
+) -> Blocks:
+    """Block on token suffixes, dropping overly frequent suffix blocks."""
+    if min_length < 1:
+        raise ConfigurationError("min_length must be >= 1")
+    if max_block_size is not None and max_block_size < 2:
+        raise ConfigurationError("max_block_size must be >= 2")
+    blocks: Blocks = {}
+    for profile in profiles:
+        keys = {s for token in profile.tokens for s in suffixes(token, min_length)}
+        for key in keys:
+            blocks.setdefault(key, []).append(profile.eid)
+    out: Blocks = {}
+    for key, members in blocks.items():
+        if len(members) < min_block_size:
+            continue
+        if max_block_size is not None and len(members) > max_block_size:
+            continue
+        out[key] = members
+    return out

@@ -1,0 +1,23 @@
+"""Classification substrate."""
+
+from repro.classification.classifiers import (
+    Classifier,
+    OracleClassifier,
+    ThresholdClassifier,
+)
+from repro.classification.learned import (
+    FEATURE_NAMES,
+    LearnedClassifier,
+    LogisticMatcher,
+    pair_features,
+)
+
+__all__ = [
+    "Classifier",
+    "ThresholdClassifier",
+    "OracleClassifier",
+    "LearnedClassifier",
+    "LogisticMatcher",
+    "pair_features",
+    "FEATURE_NAMES",
+]

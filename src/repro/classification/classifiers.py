@@ -1,0 +1,58 @@
+"""Classification of scored comparisons as matches / non-matches.
+
+Two classifiers mirror the paper's setup:
+
+* :class:`ThresholdClassifier` — the common strategy of classifying pairs
+  whose similarity exceeds a threshold as matches.
+* :class:`OracleClassifier` — classification "via lookup in the ground
+  truth data (thereby assuming a perfect classifier)", which the paper uses
+  throughout its evaluation so that pair completeness equals recall and
+  precision is 1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Protocol
+
+from repro.types import EntityId, Match, ScoredComparison, pair_key
+
+
+class Classifier(Protocol):
+    """Anything that decides whether a scored comparison is a match."""
+
+    def classify(self, scored: ScoredComparison) -> Match | None:
+        """Return a Match when the pair refers to one real-world entity."""
+        ...
+
+
+@dataclass(frozen=True)
+class ThresholdClassifier:
+    """Declare a match when similarity >= ``threshold``."""
+
+    threshold: float = 0.5
+
+    def classify(self, scored: ScoredComparison) -> Match | None:
+        if scored.similarity >= self.threshold:
+            left, right = scored.comparison.ids
+            return Match(left=left, right=right, similarity=scored.similarity)
+        return None
+
+
+@dataclass(frozen=True)
+class OracleClassifier:
+    """Perfect classifier backed by a ground-truth set of matching pairs."""
+
+    truth: frozenset[tuple[EntityId, EntityId]] = field(default_factory=frozenset)
+
+    @classmethod
+    def from_pairs(cls, pairs: Iterable[tuple[EntityId, EntityId]]) -> "OracleClassifier":
+        """Build from unordered id pairs; keys are canonicalized."""
+        return cls(truth=frozenset(pair_key(i, j) for i, j in pairs))
+
+    def classify(self, scored: ScoredComparison) -> Match | None:
+        key = scored.comparison.key()
+        if key in self.truth:
+            left, right = scored.comparison.ids
+            return Match(left=left, right=right, similarity=scored.similarity)
+        return None

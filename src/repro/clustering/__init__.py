@@ -1,0 +1,11 @@
+"""Clustering of the match stream (downstream consumers)."""
+
+from repro.clustering.algorithms import center_clustering, merge_center_clustering
+from repro.clustering.incremental_cc import IncrementalClusterer, clusters_from_matches
+
+__all__ = [
+    "IncrementalClusterer",
+    "clusters_from_matches",
+    "center_clustering",
+    "merge_center_clustering",
+]

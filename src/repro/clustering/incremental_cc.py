@@ -1,0 +1,99 @@
+"""Incremental entity clustering over the output match stream.
+
+The paper positions incremental clustering approaches as *complementary*
+consumers of its pair output ("they typically consume pairs as output by
+our framework").  This module provides exactly such a consumer: an
+incremental connected-components clusterer (union-find with path
+compression and union by size) that turns the stream of matches into
+up-to-date entity clusters at any moment.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable
+
+from repro.types import EntityId, Match
+
+
+class IncrementalClusterer:
+    """Union-find over the match stream, queryable at any time."""
+
+    def __init__(self) -> None:
+        self._parent: dict[EntityId, EntityId] = {}
+        self._size: dict[EntityId, int] = {}
+        self._merges = 0
+
+    def __len__(self) -> int:
+        """Number of entities ever seen in a match."""
+        return len(self._parent)
+
+    @property
+    def merges(self) -> int:
+        """Number of union operations that actually merged two clusters."""
+        return self._merges
+
+    def _find(self, eid: EntityId) -> EntityId:
+        parent = self._parent
+        if eid not in parent:
+            parent[eid] = eid
+            self._size[eid] = 1
+            return eid
+        root = eid
+        while parent[root] != root:
+            root = parent[root]
+        while parent[eid] != root:  # path compression
+            parent[eid], eid = root, parent[eid]
+        return root
+
+    def add_match(self, match: Match | tuple[EntityId, EntityId]) -> bool:
+        """Fold one match in; True if it merged two distinct clusters."""
+        if isinstance(match, Match):
+            left, right = match.left, match.right
+        else:
+            left, right = match
+        ra, rb = self._find(left), self._find(right)
+        if ra == rb:
+            return False
+        if self._size[ra] < self._size[rb]:
+            ra, rb = rb, ra
+        self._parent[rb] = ra
+        self._size[ra] += self._size[rb]
+        self._merges += 1
+        return True
+
+    def add_matches(self, matches: Iterable[Match | tuple[EntityId, EntityId]]) -> int:
+        """Fold many matches; returns the number of effective merges."""
+        return sum(1 for m in matches if self.add_match(m))
+
+    def cluster_of(self, eid: EntityId) -> frozenset[EntityId]:
+        """All entities currently known to co-refer with ``eid``."""
+        if eid not in self._parent:
+            return frozenset((eid,))
+        root = self._find(eid)
+        return frozenset(e for e in self._parent if self._find(e) == root)
+
+    def same_entity(self, a: EntityId, b: EntityId) -> bool:
+        """Whether the two ids are (transitively) matched so far."""
+        if a not in self._parent or b not in self._parent:
+            return a == b
+        return self._find(a) == self._find(b)
+
+    def clusters(self) -> list[frozenset[EntityId]]:
+        """All current clusters of size ≥ 2, largest first."""
+        groups: dict[EntityId, set[EntityId]] = {}
+        for eid in self._parent:
+            groups.setdefault(self._find(eid), set()).add(eid)
+        return sorted(
+            (frozenset(g) for g in groups.values() if len(g) >= 2),
+            key=len,
+            reverse=True,
+        )
+
+
+def clusters_from_matches(
+    matches: Iterable[Match | tuple[Hashable, Hashable]],
+) -> list[frozenset[EntityId]]:
+    """One-shot convenience: clusters of a finished match collection."""
+    clusterer = IncrementalClusterer()
+    clusterer.add_matches(matches)
+    return clusterer.clusters()

@@ -1,0 +1,36 @@
+"""Comparison substrate: similarity measures and profile comparators."""
+
+from repro.comparison.comparator import AttributeWeightedComparator, TokenSetComparator
+from repro.comparison.tfidf import IncrementalTfIdfComparator
+from repro.comparison.similarity import (
+    SET_SIMILARITIES,
+    cosine,
+    dice,
+    get_set_similarity,
+    jaccard,
+    jaro,
+    jaro_winkler,
+    levenshtein,
+    levenshtein_similarity,
+    monge_elkan,
+    monge_elkan_symmetric,
+    overlap,
+)
+
+__all__ = [
+    "TokenSetComparator",
+    "AttributeWeightedComparator",
+    "IncrementalTfIdfComparator",
+    "jaccard",
+    "dice",
+    "overlap",
+    "cosine",
+    "levenshtein",
+    "levenshtein_similarity",
+    "jaro",
+    "jaro_winkler",
+    "monge_elkan",
+    "monge_elkan_symmetric",
+    "get_set_similarity",
+    "SET_SIMILARITIES",
+]

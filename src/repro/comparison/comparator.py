@@ -1,0 +1,62 @@
+"""Profile comparators: turn a pair of profiles into a similarity score.
+
+The default comparator follows the paper's evaluation setup — Jaccard
+similarity over the standardized token sets of the two profiles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.comparison.similarity import SetSimilarity, get_set_similarity, jaccard
+from repro.types import Comparison, Profile, ScoredComparison
+
+
+@dataclass(frozen=True)
+class TokenSetComparator:
+    """Similarity over profile token sets (Jaccard by default)."""
+
+    similarity: SetSimilarity = field(default=jaccard)
+
+    @classmethod
+    def named(cls, name: str) -> "TokenSetComparator":
+        """Construct with a named similarity ('jaccard', 'dice', ...)."""
+        return cls(similarity=get_set_similarity(name))
+
+    def score(self, left: Profile, right: Profile) -> float:
+        return self.similarity(left.tokens, right.tokens)
+
+    def compare(self, comparison: Comparison) -> ScoredComparison:
+        """Score a comparison tuple, preserving its identity."""
+        sim = self.score(comparison.left, comparison.right)
+        return ScoredComparison(comparison=comparison, similarity=sim)
+
+
+@dataclass(frozen=True)
+class AttributeWeightedComparator:
+    """Average of per-attribute token similarities over shared attribute names.
+
+    Falls back to whole-profile token similarity when the two profiles share
+    no attribute names (the common case with heterogeneous data).
+    """
+
+    similarity: SetSimilarity = field(default=jaccard)
+
+    def score(self, left: Profile, right: Profile) -> float:
+        left_by_name: dict[str, set[str]] = {}
+        for name, value in left.attributes:
+            left_by_name.setdefault(name, set()).update(value.split())
+        right_by_name: dict[str, set[str]] = {}
+        for name, value in right.attributes:
+            right_by_name.setdefault(name, set()).update(value.split())
+        shared = set(left_by_name) & set(right_by_name)
+        if not shared:
+            return self.similarity(left.tokens, right.tokens)
+        total = sum(
+            self.similarity(left_by_name[name], right_by_name[name]) for name in shared
+        )
+        return total / len(shared)
+
+    def compare(self, comparison: Comparison) -> ScoredComparison:
+        sim = self.score(comparison.left, comparison.right)
+        return ScoredComparison(comparison=comparison, similarity=sim)

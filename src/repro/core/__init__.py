@@ -1,0 +1,43 @@
+"""Core of the reproduction: functional model, state, stages, pipeline."""
+
+from repro.core.cleanclean import combine, combine_many, source_of, tag, tag_pairs
+from repro.core.persistence import dump_state, load_state
+from repro.core.config import StreamERConfig
+from repro.core.model import (
+    FunctionalState,
+    ModelConfig,
+    f_er,
+    fold_er,
+    stream_er,
+)
+from repro.core.pipeline import ERResult, StreamERPipeline
+from repro.core.state import (
+    Blacklist,
+    BlockCollection,
+    ERState,
+    MatchStore,
+    ProfileStore,
+)
+
+__all__ = [
+    "StreamERConfig",
+    "StreamERPipeline",
+    "ERResult",
+    "ERState",
+    "BlockCollection",
+    "Blacklist",
+    "ProfileStore",
+    "MatchStore",
+    "FunctionalState",
+    "ModelConfig",
+    "f_er",
+    "fold_er",
+    "stream_er",
+    "combine",
+    "combine_many",
+    "tag",
+    "tag_pairs",
+    "source_of",
+    "dump_state",
+    "load_state",
+]

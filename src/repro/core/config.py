@@ -1,0 +1,65 @@
+"""Configuration of the stream ER pipeline."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.classification.classifiers import Classifier, ThresholdClassifier
+from repro.comparison.comparator import TokenSetComparator
+from repro.errors import ConfigurationError
+from repro.reading.profiles import ProfileBuilder
+
+
+@dataclass(frozen=True)
+class StreamERConfig:
+    """Parameters of the dynamic-data ER pipeline.
+
+    Parameters
+    ----------
+    alpha:
+        Block-pruning bound (Algorithm 1): blocks reaching size ``alpha``
+        are discarded and their key blacklisted.  Must be > 1.  Use
+        :meth:`alpha_for` to derive it from an (estimated) dataset size as
+        the paper does (e.g. ``alpha = 0.05 · |D|``).
+    beta:
+        Block-ghosting parameter (Algorithm 2), 0 < beta < 1.  A key ``k``
+        is ghosted when ``|b_k| > |b_min| / beta``.
+    enable_block_cleaning:
+        When False, block pruning and ghosting are skipped entirely — the
+        degraded "I-WNP (No BC)" variant used as a baseline in §V-B.
+    enable_comparison_cleaning:
+        When False, the I-WNP stage passes comparisons through unpruned
+        (after deduplication).
+    clean_clean:
+        When True, comparisons are only generated across sources
+        (identifiers must carry the source, see ``repro.core.cleanclean``).
+    """
+
+    alpha: int = 1000
+    beta: float = 0.05
+    enable_block_cleaning: bool = True
+    enable_comparison_cleaning: bool = True
+    clean_clean: bool = False
+    profile_builder: ProfileBuilder = field(default_factory=ProfileBuilder)
+    comparator: TokenSetComparator = field(default_factory=TokenSetComparator)
+    classifier: Classifier = field(default_factory=ThresholdClassifier)
+
+    def __post_init__(self) -> None:
+        if self.alpha <= 1:
+            raise ConfigurationError(f"alpha must be > 1, got {self.alpha}")
+        if not 0.0 < self.beta < 1.0:
+            raise ConfigurationError(f"beta must be in (0, 1), got {self.beta}")
+
+    @staticmethod
+    def alpha_for(dataset_size: int, fraction: float = 0.05) -> int:
+        """Derive α from an estimated dataset size, as in the evaluation.
+
+        The paper sets ``α = fraction · |D|``; we round up and clamp to the
+        minimum admissible bound of 2.
+        """
+        if dataset_size <= 0:
+            raise ConfigurationError("dataset_size must be positive")
+        if fraction <= 0:
+            raise ConfigurationError("fraction must be positive")
+        return max(2, math.ceil(fraction * dataset_size))

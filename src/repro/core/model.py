@@ -1,0 +1,220 @@
+"""The paper's functional model for ER on dynamic data (§III), verbatim.
+
+This module is the *reference semantics*: every step is a pure function
+taking and returning tuples that carry the full state σ = ⟨M, B⟩, and an
+incremental ER computation is the fold of ``f_er`` over the input.  It is
+deliberately written for clarity, not speed — the optimized stage classes
+in :mod:`repro.core.stages` must produce the same matches, which the test
+suite checks property-style on random inputs.
+
+State components are immutable snapshots (copy-on-write), matching the pure
+functional style of §III-A.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from functools import reduce
+from typing import Iterable, Mapping
+
+from repro.classification.classifiers import Classifier, ThresholdClassifier
+from repro.comparison.comparator import TokenSetComparator
+from repro.reading.profiles import ProfileBuilder
+from repro.types import (
+    Comparison,
+    EntityDescription,
+    EntityId,
+    Profile,
+    ScoredComparison,
+    pair_key,
+)
+
+
+@dataclass(frozen=True)
+class FunctionalState:
+    """σ = ⟨M, B⟩ plus the blacklist and profile map of the framework."""
+
+    matches: frozenset[tuple[EntityId, EntityId]] = frozenset()
+    blocks: Mapping[str, tuple[EntityId, ...]] = field(default_factory=dict)
+    blacklist: frozenset[str] = frozenset()
+    profiles: Mapping[EntityId, Profile] = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class ModelConfig:
+    """Parameters shared by all functions of the model."""
+
+    alpha: int = 1000
+    beta: float = 0.05
+    enable_block_cleaning: bool = True
+    enable_comparison_cleaning: bool = True
+    clean_clean: bool = False
+    profile_builder: ProfileBuilder = field(default_factory=ProfileBuilder)
+    comparator: TokenSetComparator = field(default_factory=TokenSetComparator)
+    classifier: Classifier = field(default_factory=ThresholdClassifier)
+
+
+def f_dr(
+    entity: EntityDescription, state: FunctionalState, config: ModelConfig
+) -> tuple[Profile, frozenset[str], FunctionalState]:
+    """Data reading: ⟨e_i, σ⟩ → ⟨i, p_i, K_i, σ⟩ (σ unchanged)."""
+    profile = config.profile_builder.build(entity)
+    return profile, profile.tokens, state
+
+
+def f_bb_bp(
+    profile: Profile,
+    keys: frozenset[str],
+    state: FunctionalState,
+    config: ModelConfig,
+) -> tuple[Profile, frozenset[str], dict[str, tuple[EntityId, ...]], FunctionalState]:
+    """Block building + block pruning (Algorithm 1), purely.
+
+    Returns the per-entity snapshot ``B_ei`` (non-singleton blocks including
+    the entity itself) alongside the updated global state.
+    """
+    blocks = dict(state.blocks)
+    blacklist = set(state.blacklist)
+    snapshot: dict[str, tuple[EntityId, ...]] = {}
+    for key in sorted(keys):
+        if config.enable_block_cleaning and key in blacklist:
+            continue
+        block = blocks.get(key, ()) + (profile.eid,)
+        if config.enable_block_cleaning and len(block) >= config.alpha:
+            blocks.pop(key, None)
+            blacklist.add(key)
+            continue
+        blocks[key] = block
+        if len(block) > 1:  # removeSingletons
+            snapshot[key] = block
+    new_state = replace(state, blocks=blocks, blacklist=frozenset(blacklist))
+    return profile, frozenset(snapshot), snapshot, new_state
+
+
+def f_bg(
+    profile: Profile,
+    keys: frozenset[str],
+    snapshot: dict[str, tuple[EntityId, ...]],
+    state: FunctionalState,
+    config: ModelConfig,
+) -> tuple[Profile, frozenset[str], dict[str, tuple[EntityId, ...]], FunctionalState]:
+    """Block ghosting (Algorithm 2): drop keys of overly general blocks."""
+    if not config.enable_block_cleaning or not snapshot:
+        return profile, keys, snapshot, state
+    min_size = min(len(block) for block in snapshot.values())
+    threshold = min_size / config.beta
+    kept = {k: b for k, b in snapshot.items() if len(b) <= threshold}
+    return profile, frozenset(kept), kept, state
+
+
+def f_cg(
+    profile: Profile,
+    snapshot: dict[str, tuple[EntityId, ...]],
+    state: FunctionalState,
+    config: ModelConfig,
+) -> tuple[list[EntityId], FunctionalState]:
+    """Comparison generation: candidate partner ids with multiplicity."""
+    eid = profile.eid
+    candidates: list[EntityId] = []
+    for block in snapshot.values():
+        for j in block:
+            if j == eid:
+                continue
+            if config.clean_clean and j[0] == eid[0]:  # type: ignore[index]
+                continue
+            candidates.append(j)
+    return candidates, state
+
+
+def f_cc(
+    candidates: list[EntityId], state: FunctionalState, config: ModelConfig
+) -> tuple[list[EntityId], FunctionalState]:
+    """Comparison cleaning (Algorithm 3): CBS counting + average threshold."""
+    counts: dict[EntityId, int] = {}
+    for j in candidates:
+        counts[j] = counts.get(j, 0) + 1
+    if not counts:
+        return [], state
+    if not config.enable_comparison_cleaning:
+        return list(counts), state
+    avg = sum(counts.values()) / len(counts)
+    return [j for j, c in counts.items() if c >= avg], state
+
+
+def f_lm(
+    profile: Profile,
+    candidates: list[EntityId],
+    state: FunctionalState,
+) -> tuple[list[Comparison], FunctionalState]:
+    """Load management: register p_i and resolve partner profiles."""
+    profiles = dict(state.profiles)
+    profiles[profile.eid] = profile
+    comparisons = [
+        Comparison(left=profile, right=profiles[j]) for j in candidates if j in profiles
+    ]
+    return comparisons, replace(state, profiles=profiles)
+
+
+def f_co(
+    comparisons: list[Comparison], state: FunctionalState, config: ModelConfig
+) -> tuple[list[ScoredComparison], FunctionalState]:
+    """Comparison: attach similarity scores."""
+    return [config.comparator.compare(c) for c in comparisons], state
+
+
+def f_cl(
+    scored: list[ScoredComparison], state: FunctionalState, config: ModelConfig
+) -> FunctionalState:
+    """Classification: extend M with the newly found matches."""
+    new_pairs = set(state.matches)
+    for item in scored:
+        match = config.classifier.classify(item)
+        if match is not None:
+            new_pairs.add(pair_key(match.left, match.right))
+    return replace(state, matches=frozenset(new_pairs))
+
+
+def f_er(
+    entity: EntityDescription, state: FunctionalState, config: ModelConfig
+) -> FunctionalState:
+    """One application of the composed ER function: σ_{i+1} = f_er(e_i, σ_i)."""
+    profile, keys, state = f_dr(entity, state, config)
+    profile, keys, snapshot, state = f_bb_bp(profile, keys, state, config)
+    profile, keys, snapshot, state = f_bg(profile, keys, snapshot, state, config)
+    candidates, state = f_cg(profile, snapshot, state, config)
+    candidates, state = f_cc(candidates, state, config)
+    comparisons, state = f_lm(profile, candidates, state)
+    scored, state = f_co(comparisons, state, config)
+    return f_cl(scored, state, config)
+
+
+def fold_er(
+    entities: Iterable[EntityDescription],
+    config: ModelConfig | None = None,
+    initial: FunctionalState | None = None,
+) -> FunctionalState:
+    """The incremental ER computation: fold of ``f_er`` over the dataset.
+
+    ``initial`` may carry the state of a previously resolved dataset that
+    the new data is updating, exactly as §III-A allows.
+    """
+    config = config or ModelConfig()
+    state = initial if initial is not None else FunctionalState()
+    return reduce(lambda sigma, entity: f_er(entity, sigma, config), entities, state)
+
+
+def stream_er(
+    entities: Iterable[EntityDescription],
+    config: ModelConfig | None = None,
+    initial: FunctionalState | None = None,
+) -> Iterable[frozenset[tuple[EntityId, EntityId]]]:
+    """The streaming ER higher-order function of §III-C.
+
+    Lazily yields the match set ``M_i`` after each entity — the output
+    stream ``[M_1, M_2, ...]``.
+    """
+    config = config or ModelConfig()
+    state = initial if initial is not None else FunctionalState()
+    for entity in entities:
+        state = f_er(entity, state, config)
+        yield state.matches

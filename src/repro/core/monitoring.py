@@ -1,0 +1,134 @@
+"""Operational monitoring of a running pipeline.
+
+Long-running deployments need visibility: how fast are entities flowing,
+how much work does each one cause, how big has the state grown, is
+pruning keeping up.  :class:`PipelineMonitor` wraps any sequential
+pipeline and emits a :class:`Snapshot` every ``interval`` entities (and on
+demand), keeping a bounded history so rates can be computed over the most
+recent window rather than the whole run.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable, Iterable
+
+from repro.core.pipeline import StreamERPipeline
+from repro.errors import ConfigurationError
+from repro.types import EntityDescription, Match
+
+
+@dataclass(frozen=True)
+class Snapshot:
+    """One point-in-time view of pipeline health."""
+
+    entities_processed: int
+    elapsed_seconds: float
+    throughput_recent: float
+    comparisons_generated: int
+    comparisons_executed: int
+    comparisons_per_entity_recent: float
+    matches_found: int
+    blocks: int
+    blacklisted_keys: int
+    profiles_stored: int
+
+    def summary(self) -> str:
+        return (
+            f"{self.entities_processed} entities "
+            f"({self.throughput_recent:,.0f}/s recent), "
+            f"{self.comparisons_per_entity_recent:.1f} comparisons/entity, "
+            f"{self.matches_found} matches, "
+            f"{self.blocks} blocks (+{self.blacklisted_keys} blacklisted), "
+            f"{self.profiles_stored} profiles"
+        )
+
+
+class PipelineMonitor:
+    """Wraps a :class:`StreamERPipeline` with periodic health snapshots.
+
+    Parameters
+    ----------
+    pipeline:
+        The pipeline to observe; the monitor proxies ``process``.
+    interval:
+        Emit a snapshot every this many entities.
+    on_snapshot:
+        Optional callback invoked with each emitted snapshot.
+    window:
+        Number of recent snapshots retained in ``history`` and used for
+        the "recent" rates.
+    """
+
+    def __init__(
+        self,
+        pipeline: StreamERPipeline,
+        interval: int = 1000,
+        on_snapshot: Callable[[Snapshot], None] | None = None,
+        window: int = 60,
+    ) -> None:
+        if interval < 1:
+            raise ConfigurationError("interval must be >= 1")
+        if window < 2:
+            raise ConfigurationError("window must be >= 2")
+        self.pipeline = pipeline
+        self.interval = interval
+        self.on_snapshot = on_snapshot
+        self.history: deque[Snapshot] = deque(maxlen=window)
+        self._start = time.perf_counter()
+        self._since_last = 0
+
+    def _recent_rates(self, now_entities: int, now_seconds: float,
+                      now_comparisons: int) -> tuple[float, float]:
+        if not self.history:
+            throughput = now_entities / now_seconds if now_seconds > 0 else 0.0
+            per_entity = now_comparisons / max(now_entities, 1)
+            return throughput, per_entity
+        base = self.history[-1]
+        d_entities = now_entities - base.entities_processed
+        d_seconds = now_seconds - base.elapsed_seconds
+        d_comparisons = now_comparisons - base.comparisons_executed
+        throughput = d_entities / d_seconds if d_seconds > 0 else 0.0
+        per_entity = d_comparisons / max(d_entities, 1)
+        return throughput, per_entity
+
+    def snapshot(self) -> Snapshot:
+        """Take (and record) a snapshot right now."""
+        p = self.pipeline
+        elapsed = time.perf_counter() - self._start
+        throughput, per_entity = self._recent_rates(
+            p.entities_processed, elapsed, p.co.compared
+        )
+        snap = Snapshot(
+            entities_processed=p.entities_processed,
+            elapsed_seconds=elapsed,
+            throughput_recent=throughput,
+            comparisons_generated=p.cg.generated,
+            comparisons_executed=p.co.compared,
+            comparisons_per_entity_recent=per_entity,
+            matches_found=len(p.cl.matches),
+            blocks=len(p.bb.blocks),
+            blacklisted_keys=len(p.bb.blacklist),
+            profiles_stored=len(p.lm.profiles),
+        )
+        self.history.append(snap)
+        if self.on_snapshot is not None:
+            self.on_snapshot(snap)
+        return snap
+
+    def process(self, entity: EntityDescription) -> list[Match]:
+        """Proxy one entity through the pipeline, snapshotting on schedule."""
+        matches = self.pipeline.process(entity)
+        self._since_last += 1
+        if self._since_last >= self.interval:
+            self._since_last = 0
+            self.snapshot()
+        return matches
+
+    def process_many(self, entities: Iterable[EntityDescription]) -> list[Match]:
+        out: list[Match] = []
+        for entity in entities:
+            out.extend(self.process(entity))
+        return out

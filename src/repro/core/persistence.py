@@ -1,0 +1,121 @@
+"""Persistence of the ER state: suspend and resume dynamic resolution.
+
+§III-A of the paper allows the initial state σ₁ to be "filled with the
+state resulting from applying ER on another dataset, which D is updating".
+This module makes that concrete: the full pipeline state (block
+collection, blacklist, profile map, match store) round-trips through a
+single JSON document, so resolution can be suspended, shipped, and resumed
+with bit-identical results.
+
+Identifiers survive the round trip for the shapes the framework produces:
+ints, strings, and (source, local_id) tuples from clean-clean ER.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import IO
+
+from repro.core.pipeline import StreamERPipeline
+from repro.errors import DatasetError
+from repro.types import EntityId, Match, Profile
+
+
+def _encode_id(eid: EntityId) -> object:
+    if isinstance(eid, tuple):
+        return {"__tuple__": [_encode_id(part) for part in eid]}
+    if isinstance(eid, (int, str)) or eid is None:
+        return eid
+    raise DatasetError(f"identifier {eid!r} is not JSON-persistable")
+
+
+def _decode_id(value: object) -> EntityId:
+    if isinstance(value, dict) and "__tuple__" in value:
+        return tuple(_decode_id(part) for part in value["__tuple__"])
+    return value  # type: ignore[return-value]
+
+
+def _encode_profile(profile: Profile) -> dict:
+    return {
+        "eid": _encode_id(profile.eid),
+        "attributes": [[name, value] for name, value in profile.attributes],
+        "tokens": sorted(profile.tokens),
+        "source": profile.source,
+    }
+
+
+def _decode_profile(data: dict) -> Profile:
+    return Profile(
+        eid=_decode_id(data["eid"]),
+        attributes=tuple((name, value) for name, value in data["attributes"]),
+        tokens=frozenset(data["tokens"]),
+        source=data.get("source"),
+    )
+
+
+def dump_state(pipeline: StreamERPipeline, target: str | Path | IO[str]) -> None:
+    """Serialize the pipeline's complete state to a JSON document."""
+    document = {
+        "format": "repro-er-state",
+        "version": 1,
+        "entities_processed": pipeline.entities_processed,
+        "blocks": {
+            key: [_encode_id(eid) for eid in members]
+            for key, members in pipeline.bb.blocks.items()
+        },
+        "blacklist": sorted(pipeline.bb.blacklist.keys),
+        "profiles": [
+            _encode_profile(profile) for profile in pipeline.lm.profiles.values()
+        ],
+        "matches": [
+            {
+                "left": _encode_id(m.left),
+                "right": _encode_id(m.right),
+                "similarity": m.similarity,
+            }
+            for m in pipeline.cl.matches.matches()
+        ],
+    }
+    if isinstance(target, (str, Path)):
+        with Path(target).open("w", encoding="utf-8") as handle:
+            json.dump(document, handle)
+    else:
+        json.dump(document, target)
+
+
+def load_state(pipeline: StreamERPipeline, source: str | Path | IO[str]) -> None:
+    """Restore a previously dumped state into a *fresh* pipeline.
+
+    The pipeline must not have processed anything yet — resuming merges,
+    rather than replaces, and a half-filled state would silently corrupt
+    the resolution.
+    """
+    if pipeline.entities_processed:
+        raise DatasetError("state can only be loaded into a fresh pipeline")
+    if isinstance(source, (str, Path)):
+        with Path(source).open(encoding="utf-8") as handle:
+            document = json.load(handle)
+    else:
+        document = json.load(source)
+    if document.get("format") != "repro-er-state":
+        raise DatasetError("not a repro ER state document")
+    if document.get("version") != 1:
+        raise DatasetError(f"unsupported state version {document.get('version')!r}")
+
+    for key, members in document["blocks"].items():
+        for encoded in members:
+            pipeline.bb.blocks.add(key, _decode_id(encoded))
+    for key in document["blacklist"]:
+        pipeline.bb.blacklist.add(key)
+    for encoded in document["profiles"]:
+        pipeline.lm.profiles.put(_decode_profile(encoded))
+    for encoded in document["matches"]:
+        pipeline.cl.matches.add(
+            Match(
+                left=_decode_id(encoded["left"]),
+                right=_decode_id(encoded["right"]),
+                similarity=encoded["similarity"],
+            )
+        )
+    pipeline._entities_processed = document["entities_processed"]  # noqa: SLF001

@@ -1,0 +1,325 @@
+"""Concrete implementations of the pipeline stages (Algorithms 1–3).
+
+Stage classes correspond one-to-one to the boxes in Figure 3 of the paper:
+
+* :class:`DataReadingStage` — ``f_dr``
+* :class:`BlockBuildingStage` — ``f_bb+bp`` (Algorithm 1: block building +
+  block pruning + singleton removal); sole owner of the block collection.
+* :class:`BlockGhostingStage` — ``f_bg`` (Algorithm 2).
+* :class:`ComparisonGenerationStage` — ``f_cg``.
+* :class:`ComparisonCleaningStage` — ``f_cc`` (Algorithm 3, I-WNP).
+* :class:`LoadManagementStage` — ``f_lm`` (profile-map lookups).
+* :class:`ComparisonStage` — ``f_co``.
+* :class:`ClassificationStage` — ``f_cl``; sole owner of the match store.
+
+Each stage is a callable taking the previous stage's message and returning
+the next one, so the sequential pipeline is literally their composition and
+the parallel framework can put each behind its own worker pool.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.classification.classifiers import Classifier, ThresholdClassifier
+from repro.comparison.comparator import TokenSetComparator
+from repro.core.state import Blacklist, BlockCollection, MatchStore, ProfileStore
+from repro.errors import UnknownProfileError
+from repro.reading.profiles import ProfileBuilder
+from repro.types import (
+    Comparison,
+    EntityDescription,
+    EntityId,
+    Match,
+    Profile,
+    ScoredComparison,
+)
+
+# --------------------------------------------------------------------------
+# Inter-stage messages
+
+
+@dataclass(slots=True)
+class BlockedEntity:
+    """Output of ``f_bb+bp``: the per-entity block snapshot ``B_ei``.
+
+    ``others[k]`` holds the identifiers already present in block ``b_k``
+    (excluding the entity itself), so ``|b_k| = len(others[k]) + 1``.
+    Singleton blocks (``others`` empty) have already been removed.
+    """
+
+    profile: Profile
+    others: dict[str, tuple[EntityId, ...]]
+
+    def block_size(self, key: str) -> int:
+        return len(self.others[key]) + 1
+
+    def keys(self) -> list[str]:
+        return list(self.others)
+
+
+@dataclass(slots=True)
+class CandidateComparisons:
+    """Output of ``f_cg``: candidate partner ids *with multiplicity*.
+
+    An id appears once per block it co-occurs in with the current entity —
+    the multiplicity is exactly the CBS weight that I-WNP counts.
+    """
+
+    profile: Profile
+    candidates: list[EntityId]
+
+
+@dataclass(slots=True)
+class CleanedComparisons:
+    """Output of ``f_cc``: distinct surviving partner ids."""
+
+    profile: Profile
+    candidates: list[EntityId]
+
+
+@dataclass(slots=True)
+class MaterializedComparisons:
+    """Output of ``f_lm``: comparisons with full profiles re-attached."""
+
+    profile: Profile
+    comparisons: list[Comparison]
+
+
+@dataclass(slots=True)
+class ScoredComparisons:
+    """Output of ``f_co``: the similarity-scored comparisons ``S_i``."""
+
+    profile: Profile
+    scored: list[ScoredComparison]
+
+
+# --------------------------------------------------------------------------
+# Stages
+
+
+class DataReadingStage:
+    """``f_dr``: standardize the description and extract blocking keys."""
+
+    name = "dr"
+
+    def __init__(self, builder: ProfileBuilder | None = None) -> None:
+        self._builder = builder or ProfileBuilder()
+
+    def __call__(self, entity: EntityDescription) -> Profile:
+        return self._builder.build(entity)
+
+
+class BlockBuildingStage:
+    """``f_bb+bp`` (Algorithm 1): incremental token blocking + block pruning.
+
+    The stage is the sole owner of the global block collection and the
+    blacklist of pruned keys.  For every incoming profile it
+
+    1. skips blacklisted keys,
+    2. appends the entity to each remaining block,
+    3. prunes (and blacklists) blocks reaching size ``alpha``,
+    4. snapshots the surviving, non-singleton blocks into ``B_ei``.
+
+    When ``enabled`` is False, pruning is skipped entirely (the "No BC"
+    degraded variant); singleton removal still applies because singleton
+    blocks cannot produce comparisons.
+    """
+
+    name = "bb+bp"
+
+    def __init__(
+        self,
+        alpha: int,
+        enabled: bool = True,
+        blocks: BlockCollection | None = None,
+        blacklist: Blacklist | None = None,
+    ) -> None:
+        self.alpha = alpha
+        self.enabled = enabled
+        self.blocks = blocks if blocks is not None else BlockCollection()
+        self.blacklist = blacklist if blacklist is not None else Blacklist()
+        self.pruned_blocks = 0
+
+    def __call__(self, profile: Profile) -> BlockedEntity:
+        others: dict[str, tuple[EntityId, ...]] = {}
+        for key in profile.tokens:
+            if self.enabled and key in self.blacklist:
+                continue
+            size = self.blocks.add(key, profile.eid)
+            if self.enabled and size >= self.alpha:
+                self.blocks.remove_block(key)
+                self.blacklist.add(key)
+                self.pruned_blocks += 1
+                continue
+            if size > 1:  # removeSingletons: only blocks with co-members
+                members = self.blocks.block(key)
+                others[key] = tuple(members[:-1])
+        return BlockedEntity(profile=profile, others=others)
+
+
+class BlockGhostingStage:
+    """``f_bg`` (Algorithm 2): ignore keys whose block is too general.
+
+    Keeps all identifiers in the global collection (nothing is deleted) but
+    drops from ``B_ei`` every key whose block size exceeds ``|b_min| / beta``,
+    where ``b_min`` is the smallest block in ``B_ei``.
+    """
+
+    name = "bg"
+
+    def __init__(self, beta: float, enabled: bool = True) -> None:
+        self.beta = beta
+        self.enabled = enabled
+        self.ghosted_keys = 0
+
+    def __call__(self, blocked: BlockedEntity) -> BlockedEntity:
+        if not self.enabled or not blocked.others:
+            return blocked
+        min_size = min(blocked.block_size(key) for key in blocked.others)
+        threshold = min_size / self.beta
+        survivors: dict[str, tuple[EntityId, ...]] = {}
+        for key, others in blocked.others.items():
+            if len(others) + 1 > threshold:
+                self.ghosted_keys += 1
+            else:
+                survivors[key] = others
+        blocked.others = survivors
+        return blocked
+
+
+class ComparisonGenerationStage:
+    """``f_cg``: emit candidate pairs from the per-entity blocks.
+
+    For clean-clean ER (``clean_clean=True``) identifiers must be
+    ``(source, local_id)`` tuples (see ``repro.core.cleanclean``) and
+    partners from the same source are skipped.
+    """
+
+    name = "cg"
+
+    def __init__(self, clean_clean: bool = False) -> None:
+        self.clean_clean = clean_clean
+        self.generated = 0
+
+    def __call__(self, blocked: BlockedEntity) -> CandidateComparisons:
+        eid = blocked.profile.eid
+        candidates: list[EntityId] = []
+        if self.clean_clean:
+            my_source = eid[0]  # type: ignore[index]
+            for others in blocked.others.values():
+                for j in others:
+                    if j != eid and j[0] != my_source:  # type: ignore[index]
+                        candidates.append(j)
+        else:
+            for others in blocked.others.values():
+                for j in others:
+                    if j != eid:
+                        candidates.append(j)
+        self.generated += len(candidates)
+        return CandidateComparisons(profile=blocked.profile, candidates=candidates)
+
+
+class ComparisonCleaningStage:
+    """``f_cc`` (Algorithm 3): the incremental WNP variant, I-WNP.
+
+    Groups the candidates by partner id, counts block co-occurrences (the
+    CBS weight), computes the average count, and keeps only partners whose
+    count is at least the average.  Grouping alone removes redundant
+    comparisons; the threshold removes superfluous ones.
+
+    When ``enabled`` is False the stage only deduplicates.
+    """
+
+    name = "cc"
+
+    def __init__(self, enabled: bool = True) -> None:
+        self.enabled = enabled
+        self.retained = 0
+
+    def __call__(self, generated: CandidateComparisons) -> CleanedComparisons:
+        counts: dict[EntityId, int] = {}
+        for j in generated.candidates:
+            counts[j] = counts.get(j, 0) + 1
+        if not counts:
+            return CleanedComparisons(profile=generated.profile, candidates=[])
+        if self.enabled:
+            avg = sum(counts.values()) / len(counts)
+            survivors = [j for j, count in counts.items() if count >= avg]
+        else:
+            survivors = list(counts)
+        self.retained += len(survivors)
+        return CleanedComparisons(profile=generated.profile, candidates=survivors)
+
+
+class LoadManagementStage:
+    """``f_lm``: maintain the profile map and re-attach full profiles.
+
+    The incoming profile is registered first, then each surviving partner id
+    is resolved to its stored profile.  In the sequential pipeline every
+    partner id necessarily belongs to an earlier, fully processed entity, so
+    lookups cannot fail; a missing profile indicates a wiring bug and raises
+    :class:`UnknownProfileError`.
+    """
+
+    name = "lm"
+
+    def __init__(self, profiles: ProfileStore | None = None) -> None:
+        self.profiles = profiles if profiles is not None else ProfileStore()
+
+    def __call__(self, cleaned: CleanedComparisons) -> MaterializedComparisons:
+        profile = cleaned.profile
+        self.profiles.put(profile)
+        comparisons: list[Comparison] = []
+        for j in cleaned.candidates:
+            other = self.profiles.get(j)
+            if other is None:
+                raise UnknownProfileError(f"profile of {j!r} was never registered")
+            comparisons.append(Comparison(left=profile, right=other))
+        return MaterializedComparisons(profile=profile, comparisons=comparisons)
+
+
+class ComparisonStage:
+    """``f_co``: score every surviving comparison with the similarity."""
+
+    name = "co"
+
+    def __init__(self, comparator: TokenSetComparator | None = None) -> None:
+        self.comparator = comparator or TokenSetComparator()
+        self.compared = 0
+
+    def __call__(self, materialized: MaterializedComparisons) -> ScoredComparisons:
+        scored = [self.comparator.compare(c) for c in materialized.comparisons]
+        self.compared += len(scored)
+        return ScoredComparisons(profile=materialized.profile, scored=scored)
+
+
+class ClassificationStage:
+    """``f_cl``: classify scored pairs and update the match store.
+
+    Returns the matches that involve the just-processed entity, i.e. the
+    per-entity slice of the output stream ``[M_1, M_2, ...]``.
+    """
+
+    name = "cl"
+
+    def __init__(
+        self,
+        classifier: Classifier | None = None,
+        matches: MatchStore | None = None,
+    ) -> None:
+        self.classifier = classifier or ThresholdClassifier()
+        self.matches = matches if matches is not None else MatchStore()
+
+    def __call__(self, scored: ScoredComparisons) -> list[Match]:
+        found: list[Match] = []
+        for item in scored.scored:
+            match = self.classifier.classify(item)
+            if match is not None and self.matches.add(match):
+                found.append(match)
+        return found
+
+
+#: Stage names in pipeline order; shared by instrumentation and the
+#: parallel framework's allocation logic.
+STAGE_ORDER: tuple[str, ...] = ("dr", "bb+bp", "bg", "cg", "cc", "lm", "co", "cl")

@@ -1,0 +1,162 @@
+"""State maintained while resolving a dynamic dataset.
+
+Following the paper's "avoiding shared state" design, the components here are
+each owned by exactly one pipeline stage:
+
+* :class:`BlockCollection` + its blacklist — owned by ``f_bb+bp``;
+* :class:`ProfileStore` (the profile map *PM*) — owned by ``f_lm``;
+* :class:`MatchStore` — owned by ``f_cl``.
+
+Blocks store entity *identifiers only* (the paper's profile-maintenance
+choice); profiles are re-attached later via the profile store.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.types import EntityId, Match, Profile, pair_key
+
+
+class BlockCollection:
+    """An incrementally maintained token-to-entities block index.
+
+    Each block is an insertion-ordered list of entity identifiers.  Blocks
+    of size one are kept (they may grow later, as the paper stresses with
+    the "Jane" block of the running example).
+    """
+
+    __slots__ = ("_blocks",)
+
+    def __init__(self) -> None:
+        self._blocks: dict[str, list[EntityId]] = {}
+
+    def add(self, key: str, eid: EntityId) -> int:
+        """Append ``eid`` to block ``key`` (creating it) and return its size."""
+        block = self._blocks.get(key)
+        if block is None:
+            block = []
+            self._blocks[key] = block
+        block.append(eid)
+        return len(block)
+
+    def remove_block(self, key: str) -> None:
+        """Drop an entire block (used by block pruning)."""
+        self._blocks.pop(key, None)
+
+    def block(self, key: str) -> list[EntityId]:
+        """The members of block ``key`` (empty list if absent)."""
+        return self._blocks.get(key, [])
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._blocks
+
+    def __len__(self) -> int:
+        return len(self._blocks)
+
+    def keys(self) -> Iterator[str]:
+        return iter(self._blocks)
+
+    def items(self) -> Iterator[tuple[str, list[EntityId]]]:
+        return iter(self._blocks.items())
+
+    def sizes(self) -> dict[str, int]:
+        """Map of block key to block size."""
+        return {key: len(block) for key, block in self._blocks.items()}
+
+    def total_assignments(self) -> int:
+        """Total number of (entity, block) assignments (Σ |b|)."""
+        return sum(len(block) for block in self._blocks.values())
+
+    def total_comparisons(self) -> int:
+        """Aggregate cardinality ||B|| = Σ_b |b|(|b|−1)/2 (dirty ER)."""
+        return sum(len(b) * (len(b) - 1) // 2 for b in self._blocks.values())
+
+
+@dataclass
+class Blacklist:
+    """Keys of blocks already pruned for exceeding the size bound α."""
+
+    keys: set[str] = field(default_factory=set)
+
+    def add(self, key: str) -> None:
+        self.keys.add(key)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self.keys
+
+    def __len__(self) -> int:
+        return len(self.keys)
+
+
+class ProfileStore:
+    """The profile map *PM*: entity identifier → full standardized profile."""
+
+    __slots__ = ("_profiles",)
+
+    def __init__(self) -> None:
+        self._profiles: dict[EntityId, Profile] = {}
+
+    def put(self, profile: Profile) -> None:
+        self._profiles[profile.eid] = profile
+
+    def get(self, eid: EntityId) -> Profile | None:
+        return self._profiles.get(eid)
+
+    def __contains__(self, eid: EntityId) -> bool:
+        return eid in self._profiles
+
+    def __len__(self) -> int:
+        return len(self._profiles)
+
+    def values(self) -> Iterator[Profile]:
+        """All stored profiles, in registration order."""
+        return iter(self._profiles.values())
+
+    def remove(self, eid: EntityId) -> bool:
+        """Drop a profile (used by windowed state eviction)."""
+        return self._profiles.pop(eid, None) is not None
+
+
+class MatchStore:
+    """The growing set *M* of discovered matches, in discovery order."""
+
+    __slots__ = ("_keys", "_matches")
+
+    def __init__(self) -> None:
+        self._keys: set[tuple[EntityId, EntityId]] = set()
+        self._matches: list[Match] = []
+
+    def add(self, match: Match) -> bool:
+        """Record a match; returns False if the pair was already known."""
+        key = match.key()
+        if key in self._keys:
+            return False
+        self._keys.add(key)
+        self._matches.append(match)
+        return True
+
+    def __contains__(self, pair: tuple[EntityId, EntityId]) -> bool:
+        return pair_key(*pair) in self._keys
+
+    def __len__(self) -> int:
+        return len(self._matches)
+
+    def matches(self) -> list[Match]:
+        """All matches in discovery order (a copy)."""
+        return list(self._matches)
+
+    def pairs(self) -> set[tuple[EntityId, EntityId]]:
+        """Canonical pair keys of all matches (a copy)."""
+        return set(self._keys)
+
+
+@dataclass
+class ERState:
+    """The full state σ = ⟨M, B⟩ plus the auxiliary stores of §IV-A."""
+
+    blocks: BlockCollection = field(default_factory=BlockCollection)
+    blacklist: Blacklist = field(default_factory=Blacklist)
+    profiles: ProfileStore = field(default_factory=ProfileStore)
+    matches: MatchStore = field(default_factory=MatchStore)

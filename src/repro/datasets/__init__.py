@@ -1,0 +1,31 @@
+"""Dataset substrate: synthetic generators and the Table II catalog."""
+
+from repro.datasets.catalog import (
+    DATASET_NAMES,
+    DEFAULT_SCALES,
+    TABLE_II,
+    characteristics,
+    load,
+    spec,
+)
+from repro.datasets.generators import DatasetSpec, GeneratedDataset, generate
+from repro.datasets.groundtruth import (
+    load_ground_truth,
+    oracle_for,
+    save_ground_truth,
+)
+
+__all__ = [
+    "DatasetSpec",
+    "GeneratedDataset",
+    "generate",
+    "load",
+    "spec",
+    "characteristics",
+    "TABLE_II",
+    "DEFAULT_SCALES",
+    "DATASET_NAMES",
+    "save_ground_truth",
+    "load_ground_truth",
+    "oracle_for",
+]

@@ -1,0 +1,390 @@
+"""Synthetic dataset generation mirroring the paper's evaluation data.
+
+The paper evaluates on cora, cddb, amazon-google (dirty ER) and movies,
+dbpedia (clean-clean ER) — none of which can be fetched here.  This module
+generates datasets with the *same characteristics* (Table II): entity
+counts, ground-truth match counts, average number of name-value pairs per
+profile, and schema heterogeneity.  The generative process is built so the
+phenomena that the paper's techniques exploit are present:
+
+* every duplicate cluster carries a set of rare, discriminative "core"
+  tokens → matching pairs co-occur in several small blocks (high CBS
+  counts, surviving I-WNP);
+* all entities additionally draw common tokens from a Zipf head → a few
+  huge, overly general blocks exist (the targets of purging / pruning /
+  ghosting);
+* duplicates are perturbed copies: token drops, typos, US/GB spelling
+  flips and synonym swaps (undone by the standardizer, so data reading
+  matters), attribute renames and drops (schema heterogeneity).
+
+Generation is fully deterministic given the spec's seed.
+"""
+
+from __future__ import annotations
+
+import bisect
+import math
+import random
+import string
+from dataclasses import dataclass, field
+from typing import Iterator, Sequence
+
+from repro.datasets.perturbations import PerturbationProfile, perturb_record
+from repro.errors import DatasetError
+from repro.types import EntityDescription, EntityId, pair_key
+
+_BASE_SCHEMA = (
+    "title", "name", "description", "author", "year", "material",
+    "category", "manufacturer", "price", "location",
+)
+
+
+@dataclass(frozen=True)
+class DatasetSpec:
+    """Declarative description of a synthetic ER dataset.
+
+    Parameters
+    ----------
+    name:
+        Human-readable dataset name.
+    kind:
+        ``"dirty"`` (single source, duplicates within) or ``"clean-clean"``
+        (two sources, matches only across).
+    size:
+        Number of entity descriptions; an int for dirty ER, a (left, right)
+        pair for clean-clean ER.
+    matches:
+        Target number of ground-truth matching pairs.
+    avg_attributes:
+        Average number of name-value pairs per profile (Table II column).
+    heterogeneity:
+        0.0 = fixed relational-ish schema; 1.0 = highly heterogeneous
+        attribute names, as in the web-scale clean-clean datasets.
+    vocab_common / vocab_rare:
+        Sizes of the common (Zipfian head) and rare (discriminative) token
+        pools.
+    zipf_s:
+        Zipf exponent of the common pool (larger = more skew = bigger
+        oversized blocks).
+    common_tokens_per_entity:
+        How many common-pool tokens each entity mixes in.
+    topic_groups / topic_tokens_per_entity:
+        Entities belong to topical groups (genres, product categories, …)
+        sharing a mid-frequency vocabulary; each entity samples a few of
+        its group's tokens.  This produces the moderate-size blocks in
+        which non-matching entities co-occur a *few* times — the
+        superfluous comparisons that comparison cleaning exists to prune.
+    seed:
+        RNG seed; everything downstream is deterministic in it.
+    """
+
+    name: str
+    kind: str = "dirty"
+    size: int | tuple[int, int] = 1000
+    matches: int = 500
+    avg_attributes: float = 5.0
+    heterogeneity: float = 0.2
+    vocab_common: int = 200
+    vocab_rare: int = 50_000
+    zipf_s: float = 1.1
+    common_tokens_per_entity: int = 4
+    topic_groups: int = 40
+    topic_tokens_per_entity: int = 3
+    perturbations: PerturbationProfile = field(default_factory=PerturbationProfile)
+    seed: int = 7
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("dirty", "clean-clean"):
+            raise DatasetError(f"unknown dataset kind {self.kind!r}")
+        if self.kind == "clean-clean" and not isinstance(self.size, tuple):
+            raise DatasetError("clean-clean datasets need a (left, right) size pair")
+        if self.kind == "dirty" and isinstance(self.size, tuple):
+            raise DatasetError("dirty datasets take a single int size")
+
+    @property
+    def total_size(self) -> int:
+        if isinstance(self.size, tuple):
+            return self.size[0] + self.size[1]
+        return self.size
+
+    def scaled(self, scale: float) -> "DatasetSpec":
+        """A proportionally smaller/larger copy of this spec."""
+        if scale <= 0:
+            raise DatasetError("scale must be positive")
+        if isinstance(self.size, tuple):
+            size: int | tuple[int, int] = (
+                max(2, round(self.size[0] * scale)),
+                max(2, round(self.size[1] * scale)),
+            )
+        else:
+            size = max(2, round(self.size * scale))
+        return DatasetSpec(
+            name=self.name,
+            kind=self.kind,
+            size=size,
+            matches=max(1, round(self.matches * scale)),
+            avg_attributes=self.avg_attributes,
+            heterogeneity=self.heterogeneity,
+            vocab_common=self.vocab_common,
+            vocab_rare=max(1000, round(self.vocab_rare * scale)),
+            zipf_s=self.zipf_s,
+            common_tokens_per_entity=self.common_tokens_per_entity,
+            topic_groups=max(2, round(self.topic_groups * min(1.0, scale * 4))),
+            topic_tokens_per_entity=self.topic_tokens_per_entity,
+            perturbations=self.perturbations,
+            seed=self.seed,
+        )
+
+
+@dataclass
+class GeneratedDataset:
+    """A generated dataset: the entity stream plus its ground truth.
+
+    ``entities`` arrive in a randomized stream order; for clean-clean data
+    identifiers are ``(source, local_id)`` tuples and the two sources are
+    interleaved.  ``ground_truth`` holds canonical pair keys over the final
+    identifiers, ready for pair-completeness computation or an oracle
+    classifier.
+    """
+
+    spec: DatasetSpec
+    entities: list[EntityDescription]
+    ground_truth: set[tuple[EntityId, EntityId]]
+
+    @property
+    def name(self) -> str:
+        return self.spec.name
+
+    @property
+    def clean_clean(self) -> bool:
+        return self.spec.kind == "clean-clean"
+
+    def __len__(self) -> int:
+        return len(self.entities)
+
+    def stream(self) -> Iterator[EntityDescription]:
+        """The entities as a (re-iterable) stream."""
+        return iter(self.entities)
+
+    def increments(self, count: int) -> list[list[EntityDescription]]:
+        """Split the stream into ``count`` equally sized increments."""
+        if count <= 0:
+            raise DatasetError("increment count must be positive")
+        size = math.ceil(len(self.entities) / count)
+        return [self.entities[i : i + size] for i in range(0, len(self.entities), size)]
+
+    def average_attributes(self) -> float:
+        """Measured average name-value pairs per profile (Table II check)."""
+        if not self.entities:
+            return 0.0
+        return sum(len(e.attributes) for e in self.entities) / len(self.entities)
+
+
+class _Vocabulary:
+    """Deterministic token pools with Zipfian sampling for the common pool."""
+
+    def __init__(self, spec: DatasetSpec, rng: random.Random) -> None:
+        self._rng = rng
+        self.common = [self._word(rng, 4, 7) for _ in range(spec.vocab_common)]
+        self.rare = [self._word(rng, 5, 10) for _ in range(spec.vocab_rare)]
+        weights = [1.0 / (rank**spec.zipf_s) for rank in range(1, len(self.common) + 1)]
+        self._cumulative: list[float] = []
+        total = 0.0
+        for w in weights:
+            total += w
+            self._cumulative.append(total)
+
+    @staticmethod
+    def _word(rng: random.Random, lo: int, hi: int) -> str:
+        length = rng.randint(lo, hi)
+        return "".join(rng.choice(string.ascii_lowercase) for _ in range(length))
+
+    def common_token(self) -> str:
+        """Sample a common token ∝ 1/rank^s."""
+        point = self._rng.random() * self._cumulative[-1]
+        index = bisect.bisect_left(self._cumulative, point)
+        return self.common[min(index, len(self.common) - 1)]
+
+    def rare_tokens(self, count: int) -> list[str]:
+        return [self._rng.choice(self.rare) for _ in range(count)]
+
+
+@dataclass
+class _Cluster:
+    """One real-world entity: its core tokens and the member descriptions."""
+
+    core_tokens: list[str]
+    members: list[EntityId] = field(default_factory=list)
+
+
+def _cluster_sizes_dirty(n: int, matches: int, rng: random.Random) -> list[int]:
+    """Cluster sizes summing to ``n`` with Σ C(size, 2) ≈ ``matches``.
+
+    The average cluster size solving the constraint in expectation is
+    ``c = 1 + 2·matches/n``; sizes are drawn around it, then singletons or
+    small clusters patch the residuals.
+    """
+    sizes: list[int] = []
+    remaining_entities = n
+    remaining_pairs = matches
+    target = 1.0 + 2.0 * matches / max(n, 1)
+    while remaining_entities > 0:
+        if remaining_pairs <= 0:
+            sizes.append(1)
+            remaining_entities -= 1
+            continue
+        spread = max(1.0, target / 3.0)
+        size = max(1, round(rng.gauss(target, spread)))
+        size = min(size, remaining_entities)
+        pairs = size * (size - 1) // 2
+        if pairs > remaining_pairs:
+            # Largest size whose pair count still fits the budget.
+            size = int((1 + math.isqrt(1 + 8 * remaining_pairs)) // 2)
+            size = max(1, min(size, remaining_entities))
+            pairs = size * (size - 1) // 2
+        sizes.append(size)
+        remaining_entities -= size
+        remaining_pairs -= pairs
+    return sizes
+
+
+def _cluster_shapes_clean(
+    left: int, right: int, matches: int, rng: random.Random
+) -> list[tuple[int, int]]:
+    """(left members, right members) per cluster for clean-clean data.
+
+    Mostly 1-1 clusters (each contributing one cross-source pair); a few
+    1-2 clusters absorb any surplus pair budget; remaining entities become
+    single-source singletons (no pairs).
+    """
+    shapes: list[tuple[int, int]] = []
+    l_remaining, r_remaining, p_remaining = left, right, matches
+    while p_remaining > 0 and l_remaining > 0 and r_remaining > 0:
+        if p_remaining >= 2 and r_remaining >= 2 and rng.random() < 0.1:
+            shape = (1, 2)
+        else:
+            shape = (1, 1)
+        pairs = shape[0] * shape[1]
+        if pairs > p_remaining or shape[0] > l_remaining or shape[1] > r_remaining:
+            shape, pairs = (1, 1), 1
+        shapes.append(shape)
+        l_remaining -= shape[0]
+        r_remaining -= shape[1]
+        p_remaining -= pairs
+    shapes.extend((1, 0) for _ in range(l_remaining))
+    shapes.extend((0, 1) for _ in range(r_remaining))
+    return shapes
+
+
+def _attribute_names(spec: DatasetSpec, rng: random.Random, count: int) -> list[str]:
+    """Attribute names for one entity, heterogeneity-dependent."""
+    names: list[str] = []
+    for index in range(count):
+        if rng.random() < spec.heterogeneity:
+            # Invented, possibly nested names — the data-lake case.
+            base = rng.choice(_BASE_SCHEMA)
+            suffix = rng.randint(0, 30)
+            if rng.random() < 0.3:
+                names.append(f"{base}.{suffix}")
+            else:
+                names.append(f"{base}_{suffix}")
+        else:
+            names.append(_BASE_SCHEMA[index % len(_BASE_SCHEMA)])
+    return names
+
+
+def _base_record(
+    spec: DatasetSpec,
+    vocab: _Vocabulary,
+    core_tokens: Sequence[str],
+    topic_tokens: Sequence[str],
+    rng: random.Random,
+) -> list[tuple[str, str]]:
+    """The canonical attribute list of a cluster, before perturbation."""
+    n_attrs = max(1, round(rng.gauss(spec.avg_attributes, spec.avg_attributes / 4)))
+    names = _attribute_names(spec, rng, n_attrs)
+    # Distribute core tokens over the attributes, then sprinkle the topical
+    # and common ones.
+    token_slots: list[list[str]] = [[] for _ in range(n_attrs)]
+    for token in core_tokens:
+        token_slots[rng.randrange(n_attrs)].append(token)
+    for _ in range(spec.topic_tokens_per_entity):
+        if topic_tokens:
+            token_slots[rng.randrange(n_attrs)].append(rng.choice(topic_tokens))
+    for _ in range(spec.common_tokens_per_entity):
+        token_slots[rng.randrange(n_attrs)].append(vocab.common_token())
+    record = []
+    for name, tokens in zip(names, token_slots):
+        if not tokens:
+            tokens = [vocab.common_token()]
+        record.append((name, " ".join(tokens)))
+    return record
+
+
+def _perturb_record(
+    record: list[tuple[str, str]],
+    spec: DatasetSpec,
+    rng: random.Random,
+) -> list[tuple[str, str]]:
+    """A duplicate's attribute list, via the spec's perturbation profile."""
+    return perturb_record(record, spec.perturbations, spec.heterogeneity, rng)
+
+
+def generate(spec: DatasetSpec) -> GeneratedDataset:
+    """Generate a dataset according to ``spec`` (deterministic in its seed)."""
+    rng = random.Random(spec.seed)
+    vocab = _Vocabulary(spec, rng)
+    entities: list[EntityDescription] = []
+    truth: set[tuple[EntityId, EntityId]] = set()
+
+    core_count = lambda: rng.randint(3, 7)  # noqa: E731 - tiny local sampler
+    # Topical vocabularies: one mid-frequency token pool per group.
+    topics = [
+        [vocab._word(rng, 5, 9) for _ in range(8)] for _ in range(spec.topic_groups)
+    ]
+    pick_topic = lambda: topics[rng.randrange(len(topics))]  # noqa: E731
+
+    if spec.kind == "dirty":
+        assert isinstance(spec.size, int)
+        sizes = _cluster_sizes_dirty(spec.size, spec.matches, rng)
+        eid = 0
+        for size in sizes:
+            core = vocab.rare_tokens(core_count())
+            record = _base_record(spec, vocab, core, pick_topic(), rng)
+            member_ids: list[EntityId] = []
+            for m in range(size):
+                attrs = record if m == 0 else _perturb_record(record, spec, rng)
+                entities.append(
+                    EntityDescription(eid=eid, attributes=tuple(attrs), source=None)
+                )
+                member_ids.append(eid)
+                eid += 1
+            for a in range(len(member_ids)):
+                for b in range(a + 1, len(member_ids)):
+                    truth.add(pair_key(member_ids[a], member_ids[b]))
+    else:
+        assert isinstance(spec.size, tuple)
+        left_n, right_n = spec.size
+        shapes = _cluster_shapes_clean(left_n, right_n, spec.matches, rng)
+        next_local = {"x": 0, "y": 0}
+        for left_count, right_count in shapes:
+            core = vocab.rare_tokens(core_count())
+            record = _base_record(spec, vocab, core, pick_topic(), rng)
+            member_ids_by_source: dict[str, list[EntityId]] = {"x": [], "y": []}
+            first = True
+            for source, count in (("x", left_count), ("y", right_count)):
+                for _ in range(count):
+                    attrs = record if first else _perturb_record(record, spec, rng)
+                    first = False
+                    eid = (source, next_local[source])
+                    next_local[source] += 1
+                    entities.append(
+                        EntityDescription(eid=eid, attributes=tuple(attrs), source=source)
+                    )
+                    member_ids_by_source[source].append(eid)
+            for i in member_ids_by_source["x"]:
+                for j in member_ids_by_source["y"]:
+                    truth.add(pair_key(i, j))
+
+    rng.shuffle(entities)
+    return GeneratedDataset(spec=spec, entities=entities, ground_truth=truth)

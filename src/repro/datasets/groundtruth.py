@@ -1,0 +1,51 @@
+"""Ground-truth utilities: persistence and oracle construction."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterable
+
+from repro.classification.classifiers import OracleClassifier
+from repro.types import EntityId, pair_key
+
+
+def save_ground_truth(
+    pairs: Iterable[tuple[EntityId, EntityId]], path: str | Path
+) -> None:
+    """Write ground-truth pairs as JSON lines (ids must be JSON-encodable)."""
+    path = Path(path)
+    with path.open("w", encoding="utf-8") as handle:
+        for i, j in pairs:
+            handle.write(json.dumps([_encode(i), _encode(j)]) + "\n")
+
+
+def load_ground_truth(path: str | Path) -> set[tuple[EntityId, EntityId]]:
+    """Read ground-truth pairs written by :func:`save_ground_truth`."""
+    path = Path(path)
+    pairs: set[tuple[EntityId, EntityId]] = set()
+    with path.open(encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            i, j = json.loads(line)
+            pairs.add(pair_key(_decode(i), _decode(j)))
+    return pairs
+
+
+def oracle_for(pairs: Iterable[tuple[EntityId, EntityId]]) -> OracleClassifier:
+    """Perfect classifier over a ground-truth pair set."""
+    return OracleClassifier.from_pairs(pairs)
+
+
+def _encode(eid: EntityId) -> object:
+    if isinstance(eid, tuple):
+        return {"source": eid[0], "id": _encode(eid[1])}
+    return eid
+
+
+def _decode(value: object) -> EntityId:
+    if isinstance(value, dict):
+        return (value["source"], _decode(value["id"]))
+    return value  # type: ignore[return-value]

@@ -1,0 +1,128 @@
+"""Pluggable perturbation model for duplicate generation.
+
+The generator derives duplicates from a cluster's base record by applying
+perturbations; this module makes each perturbation an explicit, named,
+individually-rated operation so experiments can control the corruption
+mix (e.g. sweep the typo rate, or disable the spelling/synonym variation
+that standardization exists to undo).
+
+``PerturbationProfile`` holds the per-operation rates; the default profile
+reproduces the rates baked into early versions of the generator.
+"""
+
+from __future__ import annotations
+
+import random
+import string
+from dataclasses import dataclass
+
+from repro.errors import DatasetError
+from repro.reading.standardize import DEFAULT_SPELLING, DEFAULT_SYNONYMS
+
+_SPELLING_VARIANTS = {v: k for k, v in DEFAULT_SPELLING.items()}
+_SYNONYM_VARIANTS: dict[str, list[str]] = {}
+for _specific, _general in DEFAULT_SYNONYMS.items():
+    _SYNONYM_VARIANTS.setdefault(_general, []).append(_specific)
+
+
+@dataclass(frozen=True)
+class PerturbationProfile:
+    """Per-operation perturbation rates, all in [0, 1].
+
+    token_drop:
+        Probability of deleting a token from a value.
+    typo:
+        Probability of a single-character substitution in a token.
+    spelling_variant:
+        Probability of replacing a token with its US/GB spelling variant
+        (when one exists) — undone by the standardizer.
+    synonym_variant:
+        Probability of replacing a token with a more specific synonym
+        (wood → timber) — undone by the standardizer.
+    attribute_drop:
+        Probability of omitting an attribute entirely.
+    attribute_rename:
+        Probability of renaming an attribute (schema heterogeneity),
+        scaled further by the dataset's heterogeneity parameter.
+    """
+
+    token_drop: float = 0.04
+    typo: float = 0.04
+    spelling_variant: float = 0.5
+    synonym_variant: float = 0.5
+    attribute_drop: float = 0.064
+    attribute_rename: float = 0.5
+
+    def __post_init__(self) -> None:
+        for name in (
+            "token_drop", "typo", "spelling_variant",
+            "synonym_variant", "attribute_drop", "attribute_rename",
+        ):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise DatasetError(f"{name} must be in [0, 1], got {value}")
+
+    def scaled(self, factor: float) -> "PerturbationProfile":
+        """All corruption rates multiplied by ``factor`` (clamped to 1)."""
+        if factor < 0:
+            raise DatasetError("factor must be non-negative")
+        clamp = lambda v: min(1.0, v * factor)  # noqa: E731
+        return PerturbationProfile(
+            token_drop=clamp(self.token_drop),
+            typo=clamp(self.typo),
+            spelling_variant=self.spelling_variant,
+            synonym_variant=self.synonym_variant,
+            attribute_drop=clamp(self.attribute_drop),
+            attribute_rename=self.attribute_rename,
+        )
+
+    @classmethod
+    def none(cls) -> "PerturbationProfile":
+        """Exact duplicates: no corruption at all."""
+        return cls(0.0, 0.0, 0.0, 0.0, 0.0, 0.0)
+
+
+def perturb_token(token: str, profile: PerturbationProfile, rng: random.Random) -> str | None:
+    """Apply the token-level operations; None means the token is dropped."""
+    roll = rng.random()
+    if roll < profile.token_drop:
+        return None
+    if roll < profile.token_drop + profile.typo and len(token) >= 3:
+        pos = rng.randrange(len(token))
+        return token[:pos] + rng.choice(string.ascii_lowercase) + token[pos + 1 :]
+    if token in _SPELLING_VARIANTS and rng.random() < profile.spelling_variant:
+        return _SPELLING_VARIANTS[token]
+    variants = _SYNONYM_VARIANTS.get(token)
+    if variants and rng.random() < profile.synonym_variant:
+        return rng.choice(variants)
+    return token
+
+
+def perturb_value(value: str, profile: PerturbationProfile, rng: random.Random) -> str:
+    """Perturb one attribute value token by token (never fully empties it)."""
+    tokens = value.split()
+    out = [
+        t for t in (perturb_token(tok, profile, rng) for tok in tokens) if t is not None
+    ]
+    if not out:
+        out = tokens[:1]
+    return " ".join(out)
+
+
+def perturb_record(
+    record: list[tuple[str, str]],
+    profile: PerturbationProfile,
+    heterogeneity: float,
+    rng: random.Random,
+) -> list[tuple[str, str]]:
+    """Derive one duplicate description from a base record."""
+    out: list[tuple[str, str]] = []
+    for name, value in record:
+        if len(record) > 1 and rng.random() < profile.attribute_drop:
+            continue
+        if rng.random() < heterogeneity * profile.attribute_rename:
+            name = f"{name}_alt" if not name.endswith("_alt") else name[:-4]
+        out.append((name, perturb_value(value, profile, rng)))
+    if not out:
+        out = [record[0]]
+    return out

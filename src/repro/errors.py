@@ -1,0 +1,23 @@
+"""Exception hierarchy for the repro framework."""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class of all framework errors."""
+
+
+class ConfigurationError(ReproError):
+    """A pipeline or algorithm was configured with invalid parameters."""
+
+
+class UnknownProfileError(ReproError):
+    """A comparison referenced an entity whose profile was never registered."""
+
+
+class PipelineStoppedError(ReproError):
+    """An operation was attempted on a parallel pipeline that has shut down."""
+
+
+class DatasetError(ReproError):
+    """A dataset definition or generator received inconsistent arguments."""

@@ -1,0 +1,28 @@
+"""Evaluation metrics and reporting."""
+
+from repro.evaluation.metrics import (
+    LatencySummary,
+    pair_completeness,
+    pairs_quality,
+    precision_recall_f1,
+    reduction_ratio,
+    speedup,
+    throughput_series,
+)
+from repro.evaluation.ascii_chart import line_chart, sparkline
+from repro.evaluation.report import format_table, print_section, scientific
+
+__all__ = [
+    "pair_completeness",
+    "pairs_quality",
+    "reduction_ratio",
+    "precision_recall_f1",
+    "speedup",
+    "LatencySummary",
+    "throughput_series",
+    "format_table",
+    "scientific",
+    "print_section",
+    "line_chart",
+    "sparkline",
+]

@@ -1,0 +1,94 @@
+"""Dependency-free ASCII charts for the benchmark harness.
+
+The figure benchmarks archive text tables; for the curve-shaped results
+(speedup vs processes, throughput over time, recall curves) a quick
+visual makes the *shape* — which is what the reproduction argues about —
+reviewable at a glance in the archived ``benchmarks/results/`` files.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+_MARKS = "*o+x#@"
+
+
+def line_chart(
+    series: Mapping[str, Sequence[tuple[float, float]]],
+    width: int = 60,
+    height: int = 14,
+    x_label: str = "",
+    y_label: str = "",
+) -> str:
+    """Render one or more (x, y) series as an ASCII chart.
+
+    Each series gets its own mark character; the legend maps marks to
+    series names.  Axes are linear and auto-scaled over all series.
+    """
+    points = [(x, y) for s in series.values() for x, y in s]
+    if not points:
+        return "(no data)"
+    xs = [x for x, _ in points]
+    ys = [y for _, y in points]
+    x_min, x_max = min(xs), max(xs)
+    y_min, y_max = min(ys), max(ys)
+    if x_max == x_min:
+        x_max = x_min + 1.0
+    if y_max == y_min:
+        y_max = y_min + 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for index, (name, data) in enumerate(series.items()):
+        mark = _MARKS[index % len(_MARKS)]
+        for x, y in data:
+            col = round((x - x_min) / (x_max - x_min) * (width - 1))
+            row = round((y - y_min) / (y_max - y_min) * (height - 1))
+            grid[height - 1 - row][col] = mark
+
+    top_label = f"{y_max:g}"
+    bottom_label = f"{y_min:g}"
+    margin = max(len(top_label), len(bottom_label), len(y_label)) + 1
+    lines = []
+    if y_label:
+        lines.append(" " * (margin - len(y_label) - 1) + y_label)
+    for row_index, row in enumerate(grid):
+        if row_index == 0:
+            prefix = top_label.rjust(margin - 1) + "┤"
+        elif row_index == height - 1:
+            prefix = bottom_label.rjust(margin - 1) + "┤"
+        else:
+            prefix = " " * (margin - 1) + "│"
+        lines.append(prefix + "".join(row))
+    lines.append(" " * (margin - 1) + "└" + "─" * width)
+    x_axis = f"{x_min:g}".ljust(width - len(f"{x_max:g}")) + f"{x_max:g}"
+    lines.append(" " * margin + x_axis)
+    if x_label:
+        lines.append(" " * margin + x_label.center(width))
+    legend = "  ".join(
+        f"{_MARKS[i % len(_MARKS)]}={name}" for i, name in enumerate(series)
+    )
+    lines.append(" " * margin + legend)
+    return "\n".join(lines)
+
+
+def sparkline(values: Sequence[float], width: int | None = None) -> str:
+    """A one-line mini chart (▁▂▃▄▅▆▇█) of a value sequence."""
+    blocks = "▁▂▃▄▅▆▇█"
+    if not values:
+        return ""
+    data = list(values)
+    if width is not None and width > 0 and len(data) > width:
+        # Downsample by averaging fixed-size buckets.
+        bucket = len(data) / width
+        data = [
+            sum(data[int(i * bucket) : max(int(i * bucket) + 1, int((i + 1) * bucket))])
+            / max(1, len(data[int(i * bucket) : max(int(i * bucket) + 1, int((i + 1) * bucket))]))
+            for i in range(width)
+        ]
+    lo, hi = min(data), max(data)
+    if hi == lo:
+        return blocks[0] * len(data)
+    return "".join(
+        blocks[min(len(blocks) - 1, int((v - lo) / (hi - lo) * len(blocks)))]
+        for v in data
+    )

@@ -1,0 +1,135 @@
+"""Evaluation metrics of §V: quality, pruning effectiveness, parallel gain.
+
+* **Pair completeness (PC)** — matches still detectable after blocking and
+  comparison cleaning, over all ground-truth matches.  With the oracle
+  classifier PC equals recall and precision is 1 (the paper's setup).
+* **Pairs quality (PQ)** — precision of the candidate set (extension
+  metric, not in the paper's tables but standard in the blocking
+  literature).
+* **Reduction ratio (RR)** — fraction of the naive pairwise comparisons
+  avoided.
+* **speedup** — RT(SEQ)/RT(n) for the parallel experiments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.types import EntityId, pair_key
+
+Pair = tuple[EntityId, EntityId]
+
+
+def _canonical(pairs: Iterable[Pair]) -> set[Pair]:
+    return {pair_key(i, j) for i, j in pairs}
+
+
+def pair_completeness(candidates: Iterable[Pair], truth: Iterable[Pair]) -> float:
+    """|candidates ∩ truth| / |truth| (1.0 for an empty truth set)."""
+    truth_set = _canonical(truth)
+    if not truth_set:
+        return 1.0
+    found = _canonical(candidates) & truth_set
+    return len(found) / len(truth_set)
+
+
+def pairs_quality(candidates: Iterable[Pair], truth: Iterable[Pair]) -> float:
+    """|candidates ∩ truth| / |candidates| (1.0 for an empty candidate set)."""
+    candidate_set = _canonical(candidates)
+    if not candidate_set:
+        return 1.0
+    truth_set = _canonical(truth)
+    return len(candidate_set & truth_set) / len(candidate_set)
+
+
+def reduction_ratio(n_candidates: int, n_entities: int, clean_clean_sizes: tuple[int, int] | None = None) -> float:
+    """1 − candidates / naive comparisons.
+
+    For clean-clean ER pass the two source sizes; naive is their product.
+    """
+    if clean_clean_sizes is not None:
+        naive = clean_clean_sizes[0] * clean_clean_sizes[1]
+    else:
+        naive = n_entities * (n_entities - 1) // 2
+    if naive <= 0:
+        return 0.0
+    return max(0.0, 1.0 - n_candidates / naive)
+
+
+def precision_recall_f1(
+    predicted: Iterable[Pair], truth: Iterable[Pair]
+) -> tuple[float, float, float]:
+    """Classic precision / recall / F1 over match pair sets."""
+    predicted_set = _canonical(predicted)
+    truth_set = _canonical(truth)
+    if not predicted_set and not truth_set:
+        return 1.0, 1.0, 1.0
+    tp = len(predicted_set & truth_set)
+    precision = tp / len(predicted_set) if predicted_set else 1.0
+    recall = tp / len(truth_set) if truth_set else 1.0
+    if precision + recall == 0.0:
+        return precision, recall, 0.0
+    return precision, recall, 2 * precision * recall / (precision + recall)
+
+
+def speedup(sequential_seconds: float, parallel_seconds: float) -> float:
+    """sp(n) = RT(SEQ) / RT(n)."""
+    if parallel_seconds <= 0:
+        raise ValueError("parallel runtime must be positive")
+    return sequential_seconds / parallel_seconds
+
+
+@dataclass(frozen=True)
+class LatencySummary:
+    """Order statistics of a latency sample (seconds)."""
+
+    count: int
+    mean: float
+    p50: float
+    p95: float
+    p99: float
+    maximum: float
+
+    @classmethod
+    def from_samples(cls, samples: Iterable[float]) -> "LatencySummary":
+        data = sorted(samples)
+        if not data:
+            return cls(count=0, mean=0.0, p50=0.0, p95=0.0, p99=0.0, maximum=0.0)
+
+        def pct(q: float) -> float:
+            index = min(len(data) - 1, int(q * len(data)))
+            return data[index]
+
+        return cls(
+            count=len(data),
+            mean=sum(data) / len(data),
+            p50=pct(0.50),
+            p95=pct(0.95),
+            p99=pct(0.99),
+            maximum=data[-1],
+        )
+
+
+def throughput_series(
+    completion_times: Iterable[float], window: float = 1.0
+) -> list[tuple[float, float]]:
+    """Output throughput over time: (window end, completions/second).
+
+    ``completion_times`` are absolute end-to-end completion timestamps
+    (seconds, any epoch); the series covers the span of the data in fixed
+    windows, including empty ones.
+    """
+    times = sorted(completion_times)
+    if not times or window <= 0:
+        return []
+    start = times[0]
+    end = times[-1]
+    n_windows = max(1, int((end - start) / window) + 1)
+    counts = [0] * n_windows
+    for t in times:
+        index = min(n_windows - 1, int((t - start) / window))
+        counts[index] += 1
+    return [
+        (start + (k + 1) * window, counts[k] / window) for k in range(n_windows)
+    ]

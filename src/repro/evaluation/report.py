@@ -1,0 +1,56 @@
+"""Lightweight tabular reporting used by the benchmark harness."""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Sequence
+
+
+def format_table(
+    rows: Sequence[Mapping[str, object]], columns: Sequence[str] | None = None
+) -> str:
+    """Render dict rows as an aligned text table (stable column order)."""
+    if not rows:
+        return "(no rows)"
+    if columns is None:
+        columns = list(rows[0])
+    widths = {c: len(str(c)) for c in columns}
+    rendered: list[list[str]] = []
+    for row in rows:
+        cells = [_fmt(row.get(c, "")) for c in columns]
+        rendered.append(cells)
+        for c, cell in zip(columns, cells):
+            widths[c] = max(widths[c], len(cell))
+    header = "  ".join(str(c).ljust(widths[c]) for c in columns)
+    rule = "  ".join("-" * widths[c] for c in columns)
+    body = "\n".join(
+        "  ".join(cell.ljust(widths[c]) for c, cell in zip(columns, cells))
+        for cells in rendered
+    )
+    return f"{header}\n{rule}\n{body}"
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1e5 or abs(value) < 1e-3:
+            return f"{value:.2E}"
+        return f"{value:.3f}".rstrip("0").rstrip(".")
+    return str(value)
+
+
+def scientific(value: float | int) -> str:
+    """Format a count the way Table III prints them, e.g. ``2.68E+03``."""
+    return f"{float(value):.2E}"
+
+
+def print_section(title: str, body: str | Iterable[str] = "") -> None:
+    """Print a titled section, benchmark-harness style."""
+    print()
+    print(f"=== {title} ===")
+    if isinstance(body, str):
+        if body:
+            print(body)
+    else:
+        for line in body:
+            print(line)

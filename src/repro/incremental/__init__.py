@@ -1,0 +1,9 @@
+"""Incremental-setting comparison harness (Figure 10)."""
+
+from repro.incremental.driver import (
+    APPROACHES,
+    IncrementalRun,
+    run_incremental_comparison,
+)
+
+__all__ = ["APPROACHES", "IncrementalRun", "run_incremental_comparison"]

@@ -1,0 +1,46 @@
+"""Meta-blocking substrate: blocking graph, weighting and pruning schemes."""
+
+from repro.metablocking.graph import BlockingGraph, build_blocking_graph
+from repro.metablocking.iwnp import iwnp, iwnp_counts, iwnp_select
+from repro.metablocking.pruning_schemes import (
+    PRUNING_SCHEMES,
+    cep,
+    cnp,
+    get_pruning_scheme,
+    rcnp,
+    rwnp,
+    wep,
+    wnp,
+)
+from repro.metablocking.weights import (
+    WEIGHTING_SCHEMES,
+    arcs_weights,
+    cbs_weights,
+    ecbs_weights,
+    ejs_weights,
+    get_weighting_scheme,
+    js_weights,
+)
+
+__all__ = [
+    "BlockingGraph",
+    "build_blocking_graph",
+    "cbs_weights",
+    "ecbs_weights",
+    "js_weights",
+    "arcs_weights",
+    "ejs_weights",
+    "WEIGHTING_SCHEMES",
+    "get_weighting_scheme",
+    "wep",
+    "wnp",
+    "rwnp",
+    "cep",
+    "cnp",
+    "rcnp",
+    "PRUNING_SCHEMES",
+    "get_pruning_scheme",
+    "iwnp",
+    "iwnp_counts",
+    "iwnp_select",
+]

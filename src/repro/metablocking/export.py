@@ -1,0 +1,53 @@
+"""Export the blocking graph to networkx for ad-hoc analysis.
+
+Meta-blocking decisions are easier to debug with graph tooling: degree
+distributions, connected components, community structure.  This module
+converts a :class:`~repro.metablocking.graph.BlockingGraph` (plus any
+weighting scheme) into a ``networkx.Graph`` whose edges carry the weights,
+and provides a couple of ready-made diagnostics.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.metablocking.graph import BlockingGraph
+from repro.metablocking.weights import WeightedEdges, cbs_weights
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    import networkx
+
+
+def to_networkx(
+    graph: BlockingGraph, weights: WeightedEdges | None = None
+) -> "networkx.Graph":
+    """Build a ``networkx.Graph`` with ``weight`` edge attributes."""
+    import networkx as nx
+
+    if weights is None:
+        weights = cbs_weights(graph)
+    g = nx.Graph()
+    for (i, j), w in weights.items():
+        g.add_edge(i, j, weight=w)
+    return g
+
+
+def graph_diagnostics(graph: BlockingGraph) -> dict[str, float]:
+    """Headline statistics of a blocking graph (via networkx)."""
+    import networkx as nx
+
+    g = to_networkx(graph)
+    if g.number_of_nodes() == 0:
+        return {
+            "nodes": 0.0, "edges": 0.0, "avg_degree": 0.0,
+            "components": 0.0, "largest_component": 0.0,
+        }
+    degrees = [d for _, d in g.degree()]
+    components = list(nx.connected_components(g))
+    return {
+        "nodes": float(g.number_of_nodes()),
+        "edges": float(g.number_of_edges()),
+        "avg_degree": sum(degrees) / len(degrees),
+        "components": float(len(components)),
+        "largest_component": float(max(len(c) for c in components)),
+    }

@@ -1,0 +1,95 @@
+"""The blocking graph underlying meta-blocking.
+
+Nodes are entity descriptions; an edge connects two entities that co-occur
+in at least one block.  Each edge carries the raw statistics that the
+weighting schemes of :mod:`repro.metablocking.weights` consume:
+
+* ``cbs`` — number of common blocks (the CBS weight itself), and
+* ``arcs`` — Σ over common blocks of ``1 / ||b||`` (the ARCS weight).
+
+Per-node statistics (block counts, degrees) are kept alongside so ECBS/JS/
+EJS can be derived without another pass over the blocks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.blocking.token_blocking import Blocks, block_cardinality
+from repro.types import EntityId, pair_key
+
+Pair = tuple[EntityId, EntityId]
+
+
+@dataclass
+class BlockingGraph:
+    """Weighted blocking graph plus the statistics weighting schemes need."""
+
+    cbs: dict[Pair, int] = field(default_factory=dict)
+    arcs: dict[Pair, float] = field(default_factory=dict)
+    entity_blocks: dict[EntityId, int] = field(default_factory=dict)
+    num_blocks: int = 0
+    total_assignments: int = 0
+    clean_clean: bool = False
+    _degrees: dict[EntityId, int] | None = field(default=None, repr=False)
+
+    @property
+    def num_entities(self) -> int:
+        return len(self.entity_blocks)
+
+    @property
+    def num_edges(self) -> int:
+        return len(self.cbs)
+
+    def degrees(self) -> dict[EntityId, int]:
+        """Node degree map (computed lazily, cached)."""
+        if self._degrees is None:
+            degrees: dict[EntityId, int] = {}
+            for i, j in self.cbs:
+                degrees[i] = degrees.get(i, 0) + 1
+                degrees[j] = degrees.get(j, 0) + 1
+            self._degrees = degrees
+        return self._degrees
+
+    def neighbors(self) -> dict[EntityId, list[tuple[EntityId, Pair]]]:
+        """Adjacency lists: node → [(other node, canonical edge key)]."""
+        adjacency: dict[EntityId, list[tuple[EntityId, Pair]]] = {}
+        for pair in self.cbs:
+            i, j = pair
+            adjacency.setdefault(i, []).append((j, pair))
+            adjacency.setdefault(j, []).append((i, pair))
+        return adjacency
+
+
+def build_blocking_graph(blocks: Blocks, clean_clean: bool = False) -> BlockingGraph:
+    """Construct the blocking graph of a (cleaned) block collection.
+
+    Every pair of co-occurring entities becomes an edge; for clean-clean ER
+    only cross-source pairs are connected.  Building the graph inherently
+    de-duplicates redundant comparisons — each pair appears once however
+    many blocks it shares.
+    """
+    graph = BlockingGraph(clean_clean=clean_clean)
+    entity_blocks: dict[EntityId, int] = {}
+    for members in blocks.values():
+        cardinality = block_cardinality(members, clean_clean)
+        arcs_incr = 1.0 / cardinality if cardinality else 0.0
+        for eid in members:
+            entity_blocks[eid] = entity_blocks.get(eid, 0) + 1
+        n = len(members)
+        for a in range(n):
+            i = members[a]
+            for b in range(a + 1, n):
+                j = members[b]
+                if i == j:
+                    continue
+                if clean_clean and i[0] == j[0]:  # type: ignore[index]
+                    continue
+                key = pair_key(i, j)
+                graph.cbs[key] = graph.cbs.get(key, 0) + 1
+                if arcs_incr:
+                    graph.arcs[key] = graph.arcs.get(key, 0.0) + arcs_incr
+    graph.entity_blocks = entity_blocks
+    graph.num_blocks = len(blocks)
+    graph.total_assignments = sum(len(members) for members in blocks.values())
+    return graph

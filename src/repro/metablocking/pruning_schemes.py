@@ -1,0 +1,142 @@
+"""Meta-blocking edge pruning schemes (Papadakis et al., TKDE 2014 / BDR 2016).
+
+Weight-based:
+
+* **WEP** — Weighted Edge Pruning: keep edges with weight ≥ the global
+  average edge weight.
+* **WNP** — Weighted Node Pruning: per node, threshold = average weight of
+  its adjacent edges; an edge survives if it clears the threshold of *at
+  least one* endpoint ("redefined" WNP of the enhanced meta-blocking paper).
+* **RWNP** — Reciprocal WNP: the edge must clear the thresholds of *both*
+  endpoints.
+
+Cardinality-based:
+
+* **CEP** — Cardinality Edge Pruning: keep the globally top-k edges with
+  ``k = ⌊Σ|b| / 2⌋`` (half the total block assignments).
+* **CNP** — Cardinality Node Pruning: per node keep the top-k adjacent
+  edges, ``k = max(1, ⌊Σ|b| / |E|⌋)``; an edge survives if retained by at
+  least one endpoint.
+* **RCNP** — Reciprocal CNP: retained by both endpoints.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable
+
+from repro.metablocking.graph import BlockingGraph, Pair
+from repro.metablocking.weights import WeightedEdges
+from repro.types import EntityId
+
+PruningScheme = Callable[[BlockingGraph, WeightedEdges], WeightedEdges]
+
+
+def _node_thresholds(graph: BlockingGraph, weights: WeightedEdges) -> dict[EntityId, float]:
+    """Average adjacent-edge weight per node."""
+    sums: dict[EntityId, float] = {}
+    counts: dict[EntityId, int] = {}
+    for (i, j), w in weights.items():
+        sums[i] = sums.get(i, 0.0) + w
+        counts[i] = counts.get(i, 0) + 1
+        sums[j] = sums.get(j, 0.0) + w
+        counts[j] = counts.get(j, 0) + 1
+    return {eid: sums[eid] / counts[eid] for eid in sums}
+
+
+def wep(graph: BlockingGraph, weights: WeightedEdges) -> WeightedEdges:
+    """Weighted Edge Pruning."""
+    if not weights:
+        return {}
+    threshold = sum(weights.values()) / len(weights)
+    return {pair: w for pair, w in weights.items() if w >= threshold}
+
+
+def wnp(graph: BlockingGraph, weights: WeightedEdges) -> WeightedEdges:
+    """Weighted Node Pruning (non-reciprocal: either endpoint suffices)."""
+    thresholds = _node_thresholds(graph, weights)
+    return {
+        (i, j): w
+        for (i, j), w in weights.items()
+        if w >= thresholds[i] or w >= thresholds[j]
+    }
+
+
+def rwnp(graph: BlockingGraph, weights: WeightedEdges) -> WeightedEdges:
+    """Reciprocal Weighted Node Pruning (both endpoints must agree)."""
+    thresholds = _node_thresholds(graph, weights)
+    return {
+        (i, j): w
+        for (i, j), w in weights.items()
+        if w >= thresholds[i] and w >= thresholds[j]
+    }
+
+
+def cep(graph: BlockingGraph, weights: WeightedEdges) -> WeightedEdges:
+    """Cardinality Edge Pruning: global top-k edges."""
+    k = graph.total_assignments // 2
+    if k <= 0 or not weights:
+        return {}
+    if k >= len(weights):
+        return dict(weights)
+    top = heapq.nlargest(k, weights.items(), key=lambda item: (item[1], item[0]))
+    return dict(top)
+
+
+def _top_k_per_node(
+    graph: BlockingGraph, weights: WeightedEdges, k: int
+) -> dict[EntityId, set[Pair]]:
+    adjacent: dict[EntityId, list[tuple[float, Pair]]] = {}
+    for pair, w in weights.items():
+        i, j = pair
+        adjacent.setdefault(i, []).append((w, pair))
+        adjacent.setdefault(j, []).append((w, pair))
+    retained: dict[EntityId, set[Pair]] = {}
+    for eid, edges in adjacent.items():
+        top = heapq.nlargest(k, edges, key=lambda item: (item[0], item[1]))
+        retained[eid] = {pair for _, pair in top}
+    return retained
+
+
+def _cnp_k(graph: BlockingGraph) -> int:
+    entities = max(graph.num_entities, 1)
+    return max(1, graph.total_assignments // entities)
+
+
+def cnp(graph: BlockingGraph, weights: WeightedEdges) -> WeightedEdges:
+    """Cardinality Node Pruning (either endpoint retains the edge)."""
+    retained = _top_k_per_node(graph, weights, _cnp_k(graph))
+    return {
+        (i, j): w
+        for (i, j), w in weights.items()
+        if (i, j) in retained.get(i, ()) or (i, j) in retained.get(j, ())
+    }
+
+
+def rcnp(graph: BlockingGraph, weights: WeightedEdges) -> WeightedEdges:
+    """Reciprocal Cardinality Node Pruning (both endpoints must retain)."""
+    retained = _top_k_per_node(graph, weights, _cnp_k(graph))
+    return {
+        (i, j): w
+        for (i, j), w in weights.items()
+        if (i, j) in retained.get(i, ()) and (i, j) in retained.get(j, ())
+    }
+
+
+PRUNING_SCHEMES: dict[str, PruningScheme] = {
+    "WEP": wep,
+    "WNP": wnp,
+    "RWNP": rwnp,
+    "CEP": cep,
+    "CNP": cnp,
+    "RCNP": rcnp,
+}
+
+
+def get_pruning_scheme(name: str) -> PruningScheme:
+    """Look up a pruning scheme by its paper acronym."""
+    try:
+        return PRUNING_SCHEMES[name.upper()]
+    except KeyError:
+        known = ", ".join(sorted(PRUNING_SCHEMES))
+        raise KeyError(f"unknown pruning scheme '{name}'; expected one of: {known}") from None

@@ -1,0 +1,88 @@
+"""Meta-blocking edge weighting schemes (Papadakis et al., TKDE 2014).
+
+All five general-purpose schemes of the meta-blocking paper:
+
+* **CBS** — Common Blocks Scheme: number of blocks the pair co-occurs in.
+* **ECBS** — Enhanced CBS: CBS damped by how prolific each entity's block
+  membership is, ``CBS · log(|B|/|B_i|) · log(|B|/|B_j|)``.
+* **JS** — Jaccard Scheme over the two entities' block sets,
+  ``CBS / (|B_i| + |B_j| − CBS)``.
+* **ARCS** — Aggregate Reciprocal Comparisons Scheme: Σ over common blocks
+  of ``1/||b||``; common small blocks are strong evidence.
+* **EJS** — Enhanced JS: JS damped by node degrees,
+  ``JS · log(|E|/deg_i) · log(|E|/deg_j)``.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable
+
+from repro.metablocking.graph import BlockingGraph, Pair
+
+WeightedEdges = dict[Pair, float]
+WeightingScheme = Callable[[BlockingGraph], WeightedEdges]
+
+
+def cbs_weights(graph: BlockingGraph) -> WeightedEdges:
+    """Common Blocks Scheme: the raw co-occurrence counts."""
+    return {pair: float(count) for pair, count in graph.cbs.items()}
+
+
+def ecbs_weights(graph: BlockingGraph) -> WeightedEdges:
+    """Enhanced Common Blocks Scheme."""
+    num_blocks = max(graph.num_blocks, 1)
+    logs = {
+        eid: math.log(num_blocks / count) if count else 0.0
+        for eid, count in graph.entity_blocks.items()
+    }
+    return {
+        (i, j): count * logs[i] * logs[j] for (i, j), count in graph.cbs.items()
+    }
+
+
+def js_weights(graph: BlockingGraph) -> WeightedEdges:
+    """Jaccard Scheme over block sets."""
+    blocks_of = graph.entity_blocks
+    out: WeightedEdges = {}
+    for (i, j), common in graph.cbs.items():
+        union = blocks_of[i] + blocks_of[j] - common
+        out[(i, j)] = common / union if union else 0.0
+    return out
+
+
+def arcs_weights(graph: BlockingGraph) -> WeightedEdges:
+    """Aggregate Reciprocal Comparisons Scheme."""
+    # Pairs whose every common block had zero cardinality cannot occur
+    # (co-occurrence implies ||b|| >= 1), so graph.arcs covers all edges.
+    return {pair: graph.arcs.get(pair, 0.0) for pair in graph.cbs}
+
+
+def ejs_weights(graph: BlockingGraph) -> WeightedEdges:
+    """Enhanced Jaccard Scheme."""
+    js = js_weights(graph)
+    degrees = graph.degrees()
+    num_edges = max(graph.num_edges, 1)
+    logs = {
+        eid: math.log(num_edges / degree) if degree else 0.0
+        for eid, degree in degrees.items()
+    }
+    return {(i, j): w * logs[i] * logs[j] for (i, j), w in js.items()}
+
+
+WEIGHTING_SCHEMES: dict[str, WeightingScheme] = {
+    "CBS": cbs_weights,
+    "ECBS": ecbs_weights,
+    "JS": js_weights,
+    "ARCS": arcs_weights,
+    "EJS": ejs_weights,
+}
+
+
+def get_weighting_scheme(name: str) -> WeightingScheme:
+    """Look up a weighting scheme by its paper acronym."""
+    try:
+        return WEIGHTING_SCHEMES[name.upper()]
+    except KeyError:
+        known = ", ".join(sorted(WEIGHTING_SCHEMES))
+        raise KeyError(f"unknown weighting scheme '{name}'; expected one of: {known}") from None

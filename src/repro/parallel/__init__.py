@@ -1,0 +1,39 @@
+"""Task-parallel framework: allocation, thread executor, and simulator."""
+
+from repro.parallel.allocation import (
+    FIXED_STAGES,
+    SCALABLE_STAGES,
+    allocate_processes,
+    bottleneck_time,
+    paper_example_times,
+)
+from repro.parallel.calibration import calibrate_service_model, default_simulator_config
+from repro.parallel.framework import ParallelERPipeline, ParallelRunResult
+from repro.parallel.mp_framework import MultiprocessERPipeline
+from repro.parallel.simulator import (
+    PipelineSimulator,
+    ServiceModel,
+    SimulationResult,
+    SimulationTrace,
+    SimulatorConfig,
+    simulate_speedup,
+)
+
+__all__ = [
+    "allocate_processes",
+    "bottleneck_time",
+    "paper_example_times",
+    "FIXED_STAGES",
+    "SCALABLE_STAGES",
+    "ParallelERPipeline",
+    "ParallelRunResult",
+    "MultiprocessERPipeline",
+    "calibrate_service_model",
+    "default_simulator_config",
+    "PipelineSimulator",
+    "ServiceModel",
+    "SimulatorConfig",
+    "SimulationResult",
+    "SimulationTrace",
+    "simulate_speedup",
+]

@@ -1,0 +1,80 @@
+"""Process allocation for the optimized framework (§IV-B).
+
+Given measured per-stage times, assign P worker processes so every stage
+completes in a comparable time: stages that cannot or need not be
+parallelized (``dr``, ``bb+bp``, ``bg``) get exactly one process; the
+remaining P − 3 are distributed over ``cg`` (z), ``cc`` (x), ``lm`` (v),
+``co`` (y) and ``cl`` (v) by water-filling — each next process goes to the
+stage with the largest remaining per-process time.  This reproduces the
+paper's ``P = 3 + 2v + x + y + z`` scheme and, with the measured ratios
+``T_co ≈ 2·T_cc ≈ 6·T_cg``, its example allocation (P=15 → v=1, x=3, y=6,
+z=1).
+"""
+
+from __future__ import annotations
+
+from repro.core.stages import STAGE_ORDER
+from repro.errors import ConfigurationError
+
+#: The stateful serializer always runs on exactly one process (data
+#: parallelism over the block-collection state would be needed to replicate
+#: it, which the paper leaves aside).
+FIXED_STAGES: frozenset[str] = frozenset({"bb+bp"})
+
+#: Stages eligible for replication.  The paper's formula additionally pins
+#: ``dr`` and ``bg`` to one process because they are the cheapest stages on
+#: its Scala substrate; the water-filling solver below reduces to exactly
+#: that allocation under the paper's measured times (they never receive a
+#: second process before the bottlenecks are saturated), while also
+#: handling substrates where, e.g., data reading is relatively expensive.
+SCALABLE_STAGES: tuple[str, ...] = ("dr", "bg", "cg", "cc", "lm", "co", "cl")
+
+
+def allocate_processes(
+    stage_seconds: dict[str, float], total_processes: int
+) -> dict[str, int]:
+    """Distribute ``total_processes`` over the eight stages.
+
+    ``stage_seconds`` maps stage names (see ``STAGE_ORDER``) to measured
+    total times of a sequential run.  Requires at least one process per
+    stage (total ≥ 8).
+    """
+    if total_processes < len(STAGE_ORDER):
+        raise ConfigurationError(
+            f"need at least {len(STAGE_ORDER)} processes, got {total_processes}"
+        )
+    missing = [s for s in STAGE_ORDER if s not in stage_seconds]
+    if missing:
+        raise ConfigurationError(f"missing stage times for: {missing}")
+
+    allocation = {stage: 1 for stage in STAGE_ORDER}
+    spare = total_processes - len(STAGE_ORDER)
+    for _ in range(spare):
+        # Water-filling: relieve the stage with the worst per-process time.
+        worst = max(
+            SCALABLE_STAGES,
+            key=lambda s: stage_seconds[s] / allocation[s],
+        )
+        allocation[worst] += 1
+    return allocation
+
+
+def bottleneck_time(stage_seconds: dict[str, float], allocation: dict[str, int]) -> float:
+    """The limiting per-stage time under an allocation (lower is better)."""
+    return max(stage_seconds[s] / allocation[s] for s in allocation)
+
+
+def paper_example_times() -> dict[str, float]:
+    """The stage-time ratios reported for D_dbpedia in §IV-B.
+
+    All phases except ``co`` and ``cc`` take a comparable time (normalized
+    to 1.0 here); ``T_cc ≈ 3·T_cg`` and ``T_co ≈ 2·T_cc``.
+    """
+    base = 1.0
+    t_cg = base
+    t_cc = 3.0 * t_cg
+    t_co = 2.0 * t_cc
+    return {
+        "dr": base, "bb+bp": base, "bg": base, "cg": t_cg,
+        "cc": t_cc, "lm": base, "co": t_co, "cl": base,
+    }

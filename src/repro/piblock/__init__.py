@@ -1,0 +1,5 @@
+"""PI-Block baseline (incremental schema-agnostic meta-blocking)."""
+
+from repro.piblock.piblock import PIBlockConfig, PIBlockER, PIBlockIncrementResult
+
+__all__ = ["PIBlockConfig", "PIBlockER", "PIBlockIncrementResult"]

@@ -1,0 +1,15 @@
+"""Progressive ER: best-first comparison scheduling under a budget."""
+
+from repro.progressive.scheduler import (
+    ProgressiveConfig,
+    ProgressiveResolver,
+    ProgressiveStep,
+    recall_curve,
+)
+
+__all__ = [
+    "ProgressiveConfig",
+    "ProgressiveResolver",
+    "ProgressiveStep",
+    "recall_curve",
+]

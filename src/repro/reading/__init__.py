@@ -1,0 +1,27 @@
+"""Data-reading substrate: standardization, tokenization, and sources."""
+
+from repro.reading.profiles import ProfileBuilder
+from repro.reading.sources import from_records, read_csv, read_jsonl
+from repro.reading.stats import DatasetProfile, profile_dataset
+from repro.reading.standardize import (
+    DEFAULT_ABBREVIATIONS,
+    DEFAULT_SPELLING,
+    DEFAULT_SYNONYMS,
+    Standardizer,
+)
+from repro.reading.tokenize import DEFAULT_STOPWORDS, Tokenizer
+
+__all__ = [
+    "ProfileBuilder",
+    "DatasetProfile",
+    "profile_dataset",
+    "Standardizer",
+    "Tokenizer",
+    "from_records",
+    "read_csv",
+    "read_jsonl",
+    "DEFAULT_ABBREVIATIONS",
+    "DEFAULT_SPELLING",
+    "DEFAULT_SYNONYMS",
+    "DEFAULT_STOPWORDS",
+]

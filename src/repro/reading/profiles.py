@@ -1,0 +1,60 @@
+"""Building standardized profiles from raw entity descriptions.
+
+This is the heart of the data-reading step ``f_dr``: given ``e_i`` it
+produces the standardized profile ``p_i`` and the blocking-key set ``K_i``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.reading.standardize import Standardizer
+from repro.reading.tokenize import Tokenizer
+from repro.types import EntityDescription, Profile
+
+
+@dataclass(frozen=True)
+class ProfileBuilder:
+    """Combines a :class:`Standardizer` and a :class:`Tokenizer`.
+
+    ``build`` implements the data-reading function of the functional model:
+    it standardizes attribute values and derives the blocking keys ``K_i``
+    from the standardized values (token blocking keys).
+
+    Attribute values repeat heavily in real data (and across duplicates),
+    so standardization + tokenization results are memoized per distinct
+    value; the cache is bounded to keep streaming memory flat.
+    """
+
+    standardizer: Standardizer = field(default_factory=Standardizer)
+    tokenizer: Tokenizer = field(default_factory=Tokenizer)
+    cache_size: int = 100_000
+    _cache: dict[str, tuple[str, frozenset[str]]] = field(
+        default_factory=dict, repr=False, compare=False
+    )
+
+    def _value(self, value: str) -> tuple[str, frozenset[str]]:
+        cached = self._cache.get(value)
+        if cached is not None:
+            return cached
+        standardized = self.standardizer.standardize_value(value)
+        result = (standardized, self.tokenizer.token_set((standardized,)))
+        if len(self._cache) >= self.cache_size:
+            self._cache.clear()
+        self._cache[value] = result
+        return result
+
+    def build(self, entity: EntityDescription) -> Profile:
+        """Produce the profile ``p_i`` (with keys ``K_i``) for ``e_i``."""
+        attributes = []
+        tokens: set[str] = set()
+        for name, value in entity.attributes:
+            standardized, value_tokens = self._value(value)
+            attributes.append((name, standardized))
+            tokens.update(value_tokens)
+        return Profile(
+            eid=entity.eid,
+            attributes=tuple(attributes),
+            tokens=frozenset(tokens),
+            source=entity.source,
+        )

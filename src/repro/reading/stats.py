@@ -1,0 +1,115 @@
+"""Dataset profiling: the schema-heterogeneity statistics behind Table II.
+
+The paper distinguishes its datasets by entity counts, average name-value
+pairs per profile, and schema heterogeneity ("no fixed schema and
+thousands of attributes that may be scarcely used").  This module computes
+those statistics from any entity stream, so users can judge which
+blocking method and parameters fit their data before configuring a
+pipeline.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.reading.profiles import ProfileBuilder
+from repro.types import EntityDescription
+
+
+@dataclass(frozen=True)
+class DatasetProfile:
+    """Aggregate statistics of an entity collection."""
+
+    entities: int
+    distinct_attributes: int
+    avg_attributes_per_entity: float
+    attribute_sparsity: float
+    distinct_tokens: int
+    avg_tokens_per_entity: float
+    token_gini: float
+    heterogeneity_index: float
+
+    def summary(self) -> str:
+        """Human-readable one-paragraph report."""
+        return (
+            f"{self.entities} entities, "
+            f"{self.distinct_attributes} distinct attribute names "
+            f"({self.avg_attributes_per_entity:.1f} per entity, "
+            f"sparsity {self.attribute_sparsity:.2f}), "
+            f"{self.distinct_tokens} distinct tokens "
+            f"({self.avg_tokens_per_entity:.1f} per entity, "
+            f"Gini {self.token_gini:.2f}); "
+            f"heterogeneity index {self.heterogeneity_index:.2f}"
+        )
+
+
+def _gini(counts: list[int]) -> float:
+    """Gini coefficient of a frequency distribution (0 = uniform)."""
+    if not counts:
+        return 0.0
+    ordered = sorted(counts)
+    n = len(ordered)
+    total = sum(ordered)
+    if total == 0:
+        return 0.0
+    cumulative = 0.0
+    weighted = 0.0
+    for i, value in enumerate(ordered, start=1):
+        cumulative += value
+        weighted += cumulative
+    # Gini = 1 - 2 * B where B is the area under the Lorenz curve.
+    lorenz_area = weighted / (n * total)
+    return max(0.0, 1.0 - 2.0 * lorenz_area + 1.0 / n)
+
+
+def profile_dataset(
+    entities: Iterable[EntityDescription],
+    builder: ProfileBuilder | None = None,
+) -> DatasetProfile:
+    """Compute the profiling statistics of an entity collection.
+
+    ``heterogeneity_index`` is the fraction of attribute names used by at
+    most 10% of the entities — near 0 for relational data with a fixed
+    schema, approaching 1 for data-lake style inputs where most attribute
+    names are rare.
+    """
+    builder = builder or ProfileBuilder()
+    n_entities = 0
+    attribute_counts: dict[str, int] = {}
+    token_counts: dict[str, int] = {}
+    total_attributes = 0
+    total_tokens = 0
+    for entity in entities:
+        n_entities += 1
+        names = {name for name, _ in entity.attributes}
+        total_attributes += len(entity.attributes)
+        for name in names:
+            attribute_counts[name] = attribute_counts.get(name, 0) + 1
+        profile = builder.build(entity)
+        total_tokens += len(profile.tokens)
+        for token in profile.tokens:
+            token_counts[token] = token_counts.get(token, 0) + 1
+    if n_entities == 0:
+        return DatasetProfile(0, 0, 0.0, 0.0, 0, 0.0, 0.0, 0.0)
+    rare_bound = max(1, math.ceil(0.1 * n_entities))
+    rare_attributes = sum(1 for c in attribute_counts.values() if c <= rare_bound)
+    distinct_attributes = len(attribute_counts)
+    sparsity = 1.0 - (
+        sum(attribute_counts.values()) / (distinct_attributes * n_entities)
+        if distinct_attributes
+        else 0.0
+    )
+    return DatasetProfile(
+        entities=n_entities,
+        distinct_attributes=distinct_attributes,
+        avg_attributes_per_entity=total_attributes / n_entities,
+        attribute_sparsity=sparsity,
+        distinct_tokens=len(token_counts),
+        avg_tokens_per_entity=total_tokens / n_entities,
+        token_gini=_gini(list(token_counts.values())),
+        heterogeneity_index=(
+            rare_attributes / distinct_attributes if distinct_attributes else 0.0
+        ),
+    )

@@ -1,0 +1,61 @@
+"""Tokenization of attribute values into blocking keys.
+
+Token blocking (Papadakis et al.) uses every token appearing in an entity's
+standardized values as a schema-agnostic blocking key.  The tokenizer here is
+deliberately simple and deterministic: lowercase, split on non-alphanumeric
+characters, drop very short tokens and (optionally) stopwords.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Iterable
+
+_TOKEN_RE = re.compile(r"[a-z0-9]+")
+
+#: A small English stopword list; enough to exercise the "oversized block"
+#: phenomenon without pretending to be a full NLP stack.
+DEFAULT_STOPWORDS: frozenset[str] = frozenset(
+    """a an and are as at be by for from has he in is it its of on or that the
+    to was were will with this these those not no""".split()
+)
+
+
+@dataclass(frozen=True)
+class Tokenizer:
+    """Configurable value tokenizer.
+
+    Parameters
+    ----------
+    min_length:
+        Tokens shorter than this are discarded (purely numeric tokens are
+        kept regardless, since model numbers are discriminative).
+    drop_stopwords:
+        Whether to remove :data:`DEFAULT_STOPWORDS`.
+    stopwords:
+        Custom stopword set; defaults to :data:`DEFAULT_STOPWORDS`.
+    """
+
+    min_length: int = 2
+    drop_stopwords: bool = True
+    stopwords: frozenset[str] = field(default_factory=lambda: DEFAULT_STOPWORDS)
+
+    def tokens(self, text: str) -> list[str]:
+        """Tokenize one string; duplicates are preserved, order stable."""
+        found = _TOKEN_RE.findall(text.lower())
+        out = []
+        for tok in found:
+            if len(tok) < self.min_length and not tok.isdigit():
+                continue
+            if self.drop_stopwords and tok in self.stopwords:
+                continue
+            out.append(tok)
+        return out
+
+    def token_set(self, texts: Iterable[str]) -> frozenset[str]:
+        """The distinct tokens over several strings (the blocking keys)."""
+        result: set[str] = set()
+        for text in texts:
+            result.update(self.tokens(text))
+        return frozenset(result)

@@ -1,0 +1,19 @@
+"""Streaming evaluation harness: sources and latency/throughput runners."""
+
+from repro.streaming.runner import (
+    LiveStreamRunner,
+    SimulatedStreamRunner,
+    StreamRunReport,
+)
+from repro.streaming.source import RateLimitedSource, arrival_schedule
+from repro.streaming.windowing import EvictionStats, SlidingWindowERPipeline
+
+__all__ = [
+    "RateLimitedSource",
+    "arrival_schedule",
+    "LiveStreamRunner",
+    "SimulatedStreamRunner",
+    "StreamRunReport",
+    "SlidingWindowERPipeline",
+    "EvictionStats",
+]

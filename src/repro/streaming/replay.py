@@ -1,0 +1,69 @@
+"""Replay of timestamped entity streams.
+
+Real feeds carry event timestamps.  :func:`replay` re-emits a recorded,
+timestamped stream with its original inter-arrival gaps (optionally
+compressed by a speed factor), so latency experiments can be driven by
+realistic arrival patterns instead of a constant rate.  For the simulator,
+:func:`arrival_times_from_events` converts the same recording into the
+arrival-schedule form `PipelineSimulator.run` expects.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Iterable, Iterator, Sequence
+
+from repro.errors import ConfigurationError
+from repro.types import EntityDescription
+
+TimedEntity = tuple[float, EntityDescription]
+
+
+def replay(
+    events: Iterable[TimedEntity],
+    speed: float = 1.0,
+) -> Iterator[EntityDescription]:
+    """Yield entities with their recorded gaps, ``speed``× faster.
+
+    Events must be ordered by timestamp; out-of-order input raises, since
+    silently re-ordering would falsify the stream the caller recorded.
+    """
+    if speed <= 0:
+        raise ConfigurationError("speed must be positive")
+    start_wall = time.perf_counter()
+    first_ts: float | None = None
+    last_ts: float | None = None
+    for timestamp, entity in events:
+        if last_ts is not None and timestamp < last_ts:
+            raise ConfigurationError(
+                f"events out of order: {timestamp} after {last_ts}"
+            )
+        last_ts = timestamp
+        if first_ts is None:
+            first_ts = timestamp
+        target = start_wall + (timestamp - first_ts) / speed
+        delay = target - time.perf_counter()
+        if delay > 0:
+            time.sleep(delay)
+        yield entity
+
+
+def arrival_times_from_events(
+    events: Sequence[TimedEntity], speed: float = 1.0
+) -> list[float]:
+    """Relative arrival schedule of a recorded stream (simulator input)."""
+    if speed <= 0:
+        raise ConfigurationError("speed must be positive")
+    if not events:
+        return []
+    first = events[0][0]
+    out = []
+    last = None
+    for timestamp, _ in events:
+        if last is not None and timestamp < last:
+            raise ConfigurationError(
+                f"events out of order: {timestamp} after {last}"
+            )
+        last = timestamp
+        out.append((timestamp - first) / speed)
+    return out

@@ -1,0 +1,98 @@
+"""Update-aware ER: re-described entities replace their old state.
+
+The paper's motivation includes "frequently changing or newly added
+representations" (digital design / construction), but the base pipeline is
+append-only: re-processing an id would leave the old token memberships in
+the block collection and the old profile in the profile map, silently
+corrupting future comparisons.
+
+:class:`UpdateAwareERPipeline` fixes that: when an already-seen identifier
+arrives again, the entity's previous block memberships and profile are
+evicted first, then the new description is processed normally.  Matches
+are output, so previously emitted matches are *not* retracted; instead the
+set of matches whose evidence predates an update can be queried via
+``stale_matches`` and handed to a downstream consumer (e.g. to re-verify
+or to drop from clusters).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.core.config import StreamERConfig
+from repro.core.pipeline import StreamERPipeline
+from repro.types import EntityDescription, EntityId, Match
+
+
+class UpdateAwareERPipeline:
+    """Stream ER over an insert-or-update stream of entity descriptions."""
+
+    def __init__(self, config: StreamERConfig | None = None, instrument: bool = False) -> None:
+        self.pipeline = StreamERPipeline(config, instrument=instrument)
+        self._keys_of: dict[EntityId, frozenset[str]] = {}
+        self._version: dict[EntityId, int] = {}
+        self._match_versions: dict[tuple[EntityId, EntityId], tuple[int, int]] = {}
+        self.updates_applied = 0
+
+    def version_of(self, eid: EntityId) -> int:
+        """How many times this identifier has been described (0 = never)."""
+        return self._version.get(eid, 0)
+
+    def _evict(self, eid: EntityId) -> None:
+        blocks = self.pipeline.bb.blocks
+        for key in self._keys_of.pop(eid, frozenset()):
+            members = blocks.block(key)
+            if eid in members:
+                members.remove(eid)
+                if not members:
+                    blocks.remove_block(key)
+        self.pipeline.lm.profiles.remove(eid)
+
+    def process(self, entity: EntityDescription) -> list[Match]:
+        """Insert or update one description; returns the new matches."""
+        if entity.eid in self._version:
+            self._evict(entity.eid)
+            self.updates_applied += 1
+        self._version[entity.eid] = self.version_of(entity.eid) + 1
+
+        matches = self.pipeline.process(entity)
+
+        profile = self.pipeline.lm.profiles.get(entity.eid)
+        if profile is not None:
+            self._keys_of[entity.eid] = frozenset(
+                key for key in profile.tokens
+                if entity.eid in self.pipeline.bb.blocks.block(key)
+            )
+        for match in matches:
+            self._match_versions[match.key()] = (
+                self.version_of(match.left),
+                self.version_of(match.right),
+            )
+        return matches
+
+    def process_many(self, entities: Iterable[EntityDescription]) -> list[Match]:
+        out: list[Match] = []
+        for entity in entities:
+            out.extend(self.process(entity))
+        return out
+
+    def stale_matches(self) -> list[Match]:
+        """Matches whose evidence predates a later update of an endpoint.
+
+        The match set is append-only (it is the output stream); this view
+        lets a downstream consumer re-verify or discard pairs invalidated
+        by updates.
+        """
+        stale = []
+        for match in self.pipeline.cl.matches.matches():
+            left_v, right_v = self._match_versions.get(match.key(), (0, 0))
+            if (
+                self.version_of(match.left) > left_v
+                or self.version_of(match.right) > right_v
+            ):
+                stale.append(match)
+        return stale
+
+    @property
+    def matches(self) -> list[Match]:
+        return self.pipeline.cl.matches.matches()

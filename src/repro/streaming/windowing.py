@@ -1,0 +1,96 @@
+"""Sliding-window state for truly unbounded streams.
+
+The paper's state σ = ⟨M, B⟩ grows monotonically: every profile stays in
+the block collection and the profile map forever.  On an unbounded stream
+this is eventually fatal.  This extension bounds the state to the last
+``window`` entity descriptions: a new entity can only match stream
+elements at distance < ``window``, and everything older is evicted from
+the block collection and the profile map (the match set M, being the
+*output*, is not truncated).
+
+Eviction is exact, not lazy: an insertion-order queue plus a reverse index
+(entity → its block keys) make removal O(Σ|b_k|) per evicted entity.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+from repro.core.config import StreamERConfig
+from repro.core.pipeline import StreamERPipeline
+from repro.errors import ConfigurationError
+from repro.types import EntityDescription, EntityId, Match
+
+
+@dataclass
+class EvictionStats:
+    """What the window has expired so far."""
+
+    evicted_entities: int = 0
+    removed_assignments: int = 0
+
+
+class SlidingWindowERPipeline:
+    """A stream pipeline whose state covers only the last ``window`` entities.
+
+    Wraps :class:`~repro.core.pipeline.StreamERPipeline`; processing and
+    match semantics within the window are identical to the unbounded
+    pipeline's.
+    """
+
+    def __init__(
+        self,
+        config: StreamERConfig | None = None,
+        window: int = 100_000,
+        instrument: bool = False,
+    ) -> None:
+        if window < 1:
+            raise ConfigurationError("window must be >= 1")
+        self.window = window
+        self.pipeline = StreamERPipeline(config, instrument=instrument)
+        self.stats = EvictionStats()
+        self._order: deque[EntityId] = deque()
+        self._keys_of: dict[EntityId, frozenset[str]] = {}
+
+    @property
+    def current_window(self) -> list[EntityId]:
+        """Identifiers currently inside the window, oldest first."""
+        return list(self._order)
+
+    def _evict(self, eid: EntityId) -> None:
+        blocks = self.pipeline.bb.blocks
+        for key in self._keys_of.pop(eid, frozenset()):
+            members = blocks.block(key)
+            if eid in members:
+                members.remove(eid)
+                self.stats.removed_assignments += 1
+                if not members:
+                    blocks.remove_block(key)
+        # Profile-map entry: drop so memory stays bounded.
+        self.pipeline.lm.profiles.remove(eid)
+        self.stats.evicted_entities += 1
+
+    def process(self, entity: EntityDescription) -> list[Match]:
+        """Process one entity, then expire anything beyond the window."""
+        matches = self.pipeline.process(entity)
+        profile = self.pipeline.lm.profiles.get(entity.eid)
+        # Record which blocks the entity actually joined (blacklisted or
+        # pruned keys never made it into the collection).
+        if profile is not None:
+            joined = frozenset(
+                key for key in profile.tokens
+                if entity.eid in self.pipeline.bb.blocks.block(key)
+            )
+            self._keys_of[entity.eid] = joined
+        self._order.append(entity.eid)
+        while len(self._order) > self.window:
+            self._evict(self._order.popleft())
+        return matches
+
+    def process_many(self, entities) -> list[Match]:
+        """Process a sequence; returns all matches it produced."""
+        out: list[Match] = []
+        for entity in entities:
+            out.extend(self.process(entity))
+        return out

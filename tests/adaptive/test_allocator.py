@@ -1,0 +1,80 @@
+"""Tests for the dynamic process allocator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.adaptive import DynamicAllocator
+from repro.core.stages import STAGE_ORDER
+from repro.errors import ConfigurationError
+from repro.parallel import allocate_processes, paper_example_times
+
+
+def uniform_allocation(total: int = 8) -> dict[str, int]:
+    return {s: 1 for s in STAGE_ORDER} | (
+        {} if total == 8 else {}
+    )
+
+
+def times(co: float = 1.0, cc: float = 1.0) -> dict[str, float]:
+    base = {s: 0.1 for s in STAGE_ORDER}
+    base["co"] = co
+    base["cc"] = cc
+    return base
+
+
+class TestDynamicAllocator:
+    def test_rejects_incomplete_allocation(self):
+        with pytest.raises(ConfigurationError):
+            DynamicAllocator({"co": 2})
+
+    def test_no_recommendation_before_interval(self):
+        allocator = DynamicAllocator(uniform_allocation(), interval=10)
+        for _ in range(9):
+            assert allocator.observe(times()) is None
+
+    def test_moves_worker_toward_live_bottleneck(self):
+        start = allocate_processes(paper_example_times(), 15)
+        assert start["co"] == 6
+        allocator = DynamicAllocator(start, interval=5, min_improvement=0.01)
+        # Live behaviour differs from the offline profile: cc explodes.
+        change = None
+        for _ in range(30):
+            change = allocator.observe(times(co=0.3, cc=3.0)) or change
+        assert change is not None
+        assert change.to_stage == "cc"
+        assert sum(allocator.allocation.values()) == 15
+        assert allocator.allocation["cc"] > start["cc"]
+
+    def test_never_strips_fixed_or_last_worker(self):
+        allocator = DynamicAllocator(uniform_allocation(), interval=1)
+        for _ in range(20):
+            allocator.observe(times(co=5.0))
+        assert all(v >= 1 for v in allocator.allocation.values())
+        assert allocator.allocation["bb+bp"] == 1
+
+    def test_stable_when_already_optimal(self):
+        profile = paper_example_times()
+        start = allocate_processes(profile, 15)
+        allocator = DynamicAllocator(start, interval=2, smoothing=1.0)
+        moves = [allocator.observe(profile) for _ in range(10)]
+        assert all(m is None for m in moves)
+        assert allocator.allocation == start
+
+    def test_improvement_metric(self):
+        start = allocate_processes(paper_example_times(), 12)
+        allocator = DynamicAllocator(start, interval=1, min_improvement=0.0)
+        change = None
+        for _ in range(10):
+            change = allocator.observe(times(co=4.0)) or change
+        if change is not None:
+            assert 0.0 <= change.improvement <= 1.0
+            assert change.bottleneck_after <= change.bottleneck_before
+
+    def test_history_records_moves(self):
+        start = allocate_processes(paper_example_times(), 15)
+        allocator = DynamicAllocator(start, interval=1, min_improvement=0.01)
+        for _ in range(50):
+            allocator.observe(times(co=0.2, cc=5.0))
+        assert allocator.history
+        assert allocator.history[0].after != allocator.history[0].before

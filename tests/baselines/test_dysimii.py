@@ -1,0 +1,63 @@
+"""Tests for the DySimII baseline."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines import DySimII, DySimIIConfig
+from repro.classification import OracleClassifier, ThresholdClassifier
+from repro.errors import ConfigurationError
+from repro.evaluation import pair_completeness
+from repro.types import EntityDescription
+
+
+def record(i, text):
+    return EntityDescription.create(i, {"t": text})
+
+
+class TestDySimII:
+    def test_rejects_bad_threshold(self):
+        with pytest.raises(ConfigurationError):
+            DySimIIConfig(min_overlap_ratio=0.0)
+
+    def test_finds_token_overlapping_duplicates(self):
+        dysim = DySimII(DySimIIConfig(classifier=ThresholdClassifier(0.8)))
+        dysim.process(record(1, "alpha beta gamma"))
+        matches = dysim.process(record(2, "alpha beta gamma"))
+        assert [m.key() for m in matches] == [(1, 2)]
+
+    def test_overlap_threshold_prunes_weak_candidates(self):
+        dysim = DySimII(
+            DySimIIConfig(min_overlap_ratio=0.9, classifier=ThresholdClassifier(0.01))
+        )
+        dysim.process(record(1, "alpha beta gamma delta"))
+        dysim.process(record(2, "alpha unrelated other things"))
+        # Only 1 of 4 tokens shared < 90% → never fully compared.
+        assert dysim.comparisons == 0
+
+    def test_candidates_scanned_grows_with_hot_tokens(self):
+        dysim = DySimII(DySimIIConfig(classifier=ThresholdClassifier(0.99)))
+        for i in range(20):
+            dysim.process(record(i, f"hot shared unique{i}"))
+        # Posting lists of "hot"/"shared" are scanned in full every insert:
+        # Σ_{i<20} 2i = 380 scans at minimum.
+        assert dysim.candidates_scanned >= 380
+
+    def test_no_duplicate_match_pairs(self):
+        dysim = DySimII(DySimIIConfig(classifier=ThresholdClassifier(0.5)))
+        for i in range(5):
+            dysim.process(record(i, "same text again"))
+        assert len(dysim.match_pairs) == len(dysim.matches)
+
+    def test_high_completeness_without_cleaning(self, tiny_dirty_dataset):
+        """No block cleaning → near-exhaustive candidates → high PC."""
+        ds = tiny_dirty_dataset
+        dysim = DySimII(
+            DySimIIConfig(
+                min_overlap_ratio=0.2,
+                classifier=OracleClassifier.from_pairs(ds.ground_truth),
+            )
+        )
+        dysim.process_many(ds.stream())
+        pc = pair_completeness(dysim.match_pairs, ds.ground_truth)
+        assert pc > 0.85

@@ -1,0 +1,78 @@
+"""Tests for the DySNI baseline."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines import DySNI, DySNIConfig, default_sorting_key
+from repro.classification import OracleClassifier, ThresholdClassifier
+from repro.errors import ConfigurationError
+from repro.reading.profiles import ProfileBuilder
+from repro.types import EntityDescription
+
+
+def record(i, title, year="1999"):
+    return EntityDescription.create(i, {"title": title, "year": year})
+
+
+class TestSortingKey:
+    def test_concatenates_first_tokens(self):
+        profile = ProfileBuilder().build(record(1, "alpha beta", "2001"))
+        key = default_sorting_key(profile, ("title", "year"))
+        assert key == "alpha|2001"
+
+    def test_missing_attributes_fall_back_to_tokens(self):
+        profile = ProfileBuilder().build(
+            EntityDescription.create(1, {"weird": "zulu alpha"})
+        )
+        key = default_sorting_key(profile, ("title", "year"))
+        assert key  # non-empty: uses the smallest token
+        assert "alpha" in key
+
+
+class TestDySNI:
+    def test_rejects_bad_window(self):
+        with pytest.raises(ConfigurationError):
+            DySNIConfig(window=0)
+
+    def test_finds_adjacent_duplicates(self):
+        dysni = DySNI(DySNIConfig(window=2, classifier=ThresholdClassifier(0.8)))
+        dysni.process(record(1, "aardvark anthology"))
+        matches = dysni.process(record(2, "aardvark anthology"))
+        assert [m.key() for m in matches] == [(1, 2)]
+
+    def test_window_limits_candidates(self):
+        dysni = DySNI(DySNIConfig(window=1, classifier=ThresholdClassifier(0.99)))
+        # Keys sort as: aaa, bbb, ccc, ddd, eee — identical twins at the ends.
+        for i, t in enumerate(["aaa x", "bbb y", "ccc z", "ddd w", "eee v"]):
+            dysni.process(record(i, t))
+        before = dysni.comparisons
+        dysni.process(record(9, "aaa x"))
+        # Only window-adjacent records were compared.
+        assert dysni.comparisons - before <= 2
+
+    def test_comparisons_bounded_by_2w_per_insert(self):
+        dysni = DySNI(DySNIConfig(window=3, classifier=ThresholdClassifier(0.99)))
+        for i in range(50):
+            dysni.process(record(i, f"title{i:03d} text"))
+        assert dysni.comparisons <= 50 * 6
+
+    def test_no_duplicate_match_pairs(self):
+        dysni = DySNI(DySNIConfig(window=4, classifier=ThresholdClassifier(0.5)))
+        for i in range(6):
+            dysni.process(record(i, "same title every time"))
+        assert len(dysni.match_pairs) == len(dysni.matches)
+
+    def test_quality_on_relational_data(self, tiny_dirty_dataset):
+        """On low-heterogeneity data with a sane key, DySNI finds matches."""
+        ds = tiny_dirty_dataset
+        dysni = DySNI(
+            DySNIConfig(
+                window=8,
+                key_attributes=("title", "name", "description"),
+                classifier=OracleClassifier.from_pairs(ds.ground_truth),
+            )
+        )
+        dysni.process_many(ds.stream())
+        assert len(dysni.match_pairs) > 0
+        assert dysni.total_seconds > 0

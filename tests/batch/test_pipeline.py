@@ -1,0 +1,107 @@
+"""Unit and behavioural tests for the batch baseline pipeline."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.batch import BatchERConfig, BatchERPipeline, IncrementalBatchER
+from repro.classification import OracleClassifier, ThresholdClassifier
+from repro.errors import ConfigurationError
+from repro.evaluation import pair_completeness
+
+
+class TestBatchERConfig:
+    def test_label(self):
+        cfg = BatchERConfig(r=0.05, s=0.8, weighting="CBS", pruning="WNP")
+        assert cfg.label() == "CBS+WNP r=0.05 s=0.8"
+
+    def test_label_without_cleaning(self):
+        cfg = BatchERConfig(r=None, s=None, pruning=None)
+        assert cfg.label() == "no-CC"
+
+    @pytest.mark.parametrize("bad", [{"r": 0.0}, {"r": 1.5}, {"s": 0.0}, {"s": 1.0}])
+    def test_rejects_bad_ratios(self, bad):
+        with pytest.raises(ConfigurationError):
+            BatchERConfig(**bad)
+
+
+class TestBatchERPipeline:
+    def test_counts_decrease_through_workflow(self, tiny_dirty_dataset):
+        ds = tiny_dirty_dataset
+        cfg = BatchERConfig(
+            r=0.05, s=0.5, classifier=ThresholdClassifier(0.9)
+        )
+        result = BatchERPipeline(cfg).run(ds.entities)
+        assert result.n_entities == len(ds.entities)
+        assert result.comparisons_after_bb >= result.comparisons_after_bc
+        assert result.comparisons_after_bc >= result.comparisons_after_cc >= 0
+
+    def test_oracle_quality(self, tiny_dirty_dataset, oracle):
+        ds = tiny_dirty_dataset
+        cfg = BatchERConfig(r=0.05, s=0.8, classifier=oracle)
+        result = BatchERPipeline(cfg).run(ds.entities)
+        pc = pair_completeness(result.match_pairs, ds.ground_truth)
+        assert pc > 0.5
+
+    def test_no_pruning_configuration(self, tiny_dirty_dataset):
+        ds = tiny_dirty_dataset
+        with_pruning = BatchERPipeline(
+            BatchERConfig(r=0.05, s=0.5, pruning="WNP", classifier=ThresholdClassifier(0.99))
+        ).run(ds.entities)
+        without = BatchERPipeline(
+            BatchERConfig(r=0.05, s=0.5, pruning=None, classifier=ThresholdClassifier(0.99))
+        ).run(ds.entities)
+        assert without.comparisons_after_cc >= with_pruning.comparisons_after_cc
+
+    def test_clean_clean_candidates_cross_source(self, tiny_clean_dataset):
+        ds = tiny_clean_dataset
+        cfg = BatchERConfig(
+            r=0.05, s=0.8, clean_clean=True, classifier=ThresholdClassifier(0.99)
+        )
+        result = BatchERPipeline(cfg).run(ds.entities)
+        assert result.candidate_pairs
+        for i, j in result.candidate_pairs:
+            assert i[0] != j[0]
+
+    def test_skip_pairs_suppresses_comparisons(self, tiny_dirty_dataset, oracle):
+        ds = tiny_dirty_dataset
+        cfg = BatchERConfig(r=0.05, s=0.8, classifier=oracle)
+        full = BatchERPipeline(cfg).run(ds.entities)
+        skipped = BatchERPipeline(cfg).run(
+            ds.entities, skip_pairs=full.candidate_pairs
+        )
+        assert skipped.matches == []
+
+    def test_timings_populated(self, tiny_dirty_dataset):
+        cfg = BatchERConfig(classifier=ThresholdClassifier(0.99))
+        result = BatchERPipeline(cfg).run(tiny_dirty_dataset.entities)
+        assert result.resolution_seconds >= result.blocking_seconds
+
+
+class TestIncrementalBatchER:
+    def test_accumulates_matches_without_duplicates(self, tiny_dirty_dataset, oracle):
+        ds = tiny_dirty_dataset
+        runner = IncrementalBatchER(BatchERConfig(r=0.05, s=0.8, classifier=oracle))
+        increments = ds.increments(3)
+        for increment in increments:
+            runner.process_increment(increment)
+        pairs = runner.match_pairs
+        assert len(pairs) == len(runner.matches)  # no duplicate pairs
+
+    def test_incremental_close_to_single_batch(self, tiny_dirty_dataset, oracle):
+        ds = tiny_dirty_dataset
+        single = BatchERPipeline(
+            BatchERConfig(r=0.05, s=0.8, classifier=oracle)
+        ).run(ds.entities)
+        runner = IncrementalBatchER(BatchERConfig(r=0.05, s=0.8, classifier=oracle))
+        for increment in ds.increments(4):
+            runner.process_increment(increment)
+        # Incremental recomputation sees at least the final candidate set,
+        # so it cannot find fewer matches than the single batch run.
+        assert len(runner.match_pairs) >= len(single.match_pairs)
+
+    def test_total_seconds_accumulates(self, tiny_dirty_dataset, oracle):
+        runner = IncrementalBatchER(BatchERConfig(classifier=oracle))
+        for increment in tiny_dirty_dataset.increments(2):
+            runner.process_increment(increment)
+        assert runner.total_seconds > 0

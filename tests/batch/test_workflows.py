@@ -1,0 +1,59 @@
+"""Unit tests for the baseline configuration grids."""
+
+from __future__ import annotations
+
+from repro.batch import (
+    CC_SCHEMES,
+    BatchERConfig,
+    block_cleaning_grid,
+    comparison_cleaning_grid,
+    full_grid,
+)
+
+
+class TestBlockCleaningGrid:
+    def test_cross_product_size(self):
+        grid = list(block_cleaning_grid())
+        assert len(grid) == 6  # 2 r-values × 3 s-values
+
+    def test_covers_paper_parameters(self):
+        grid = {(c.r, c.s) for c in block_cleaning_grid()}
+        assert (0.005, 0.1) in grid
+        assert (0.05, 0.8) in grid
+
+    def test_base_config_preserved(self):
+        base = BatchERConfig(weighting="JS", pruning="RWNP")
+        for config in block_cleaning_grid(base):
+            assert config.weighting == "JS"
+            assert config.pruning == "RWNP"
+
+
+class TestComparisonCleaningGrid:
+    def test_dirty_includes_rcnp_arcs(self):
+        schemes = {(c.weighting, c.pruning) for c in comparison_cleaning_grid()}
+        assert ("ARCS", "RCNP") in schemes
+        assert len(schemes) == len(CC_SCHEMES) + 1
+
+    def test_clean_clean_includes_rwnp_js(self):
+        schemes = {
+            (c.weighting, c.pruning)
+            for c in comparison_cleaning_grid(clean_clean=True)
+        }
+        assert ("JS", "RWNP") in schemes
+
+    def test_clean_clean_flag_propagates(self):
+        for config in comparison_cleaning_grid(clean_clean=True):
+            assert config.clean_clean
+
+
+class TestFullGrid:
+    def test_size(self):
+        assert len(list(full_grid())) == 6 * 7
+
+    def test_aggressive_only_restricts_r(self):
+        for config in full_grid(aggressive_only=True):
+            assert config.r == 0.005
+
+    def test_labels_unique(self):
+        labels = [c.label() for c in full_grid()]
+        assert len(labels) == len(set(labels))

@@ -1,0 +1,59 @@
+"""Unit tests for block filtering."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.blocking import block_filtering, count_comparisons
+from repro.errors import ConfigurationError
+
+
+class TestBlockFiltering:
+    def test_retains_entity_in_smallest_blocks(self):
+        blocks = {
+            "big": [1, 2, 3, 4],
+            "mid": [1, 2, 3],
+            "small": [1, 2],
+        }
+        filtered = block_filtering(blocks, s=0.5)
+        # Every entity appears in 3 blocks → keeps floor(0.5·3)=1 smallest.
+        assert set(filtered) == {"small"}
+        assert filtered["small"] == [1, 2]
+
+    def test_keeps_at_least_one_block_per_entity(self):
+        blocks = {"a": [1, 2]}
+        filtered = block_filtering(blocks, s=0.1)
+        assert filtered == {"a": [1, 2]}
+
+    def test_drops_blocks_reduced_below_two(self):
+        blocks = {"x": [1, 2], "y": [1, 9], "z": [2, 9], "w": [1, 2, 9]}
+        filtered = block_filtering(blocks, s=0.4)
+        for members in filtered.values():
+            assert len(members) >= 2
+
+    def test_never_increases_comparisons(self):
+        blocks = {"a": [1, 2, 3], "b": [1, 2], "c": [2, 3]}
+        before = count_comparisons(blocks)
+        after = count_comparisons(block_filtering(blocks, s=0.5))
+        assert after <= before
+
+    @pytest.mark.parametrize("s", [0.0, 1.0, -0.1])
+    def test_rejects_bad_ratio(self, s):
+        with pytest.raises(ConfigurationError):
+            block_filtering({"a": [1, 2]}, s=s)
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        st.dictionaries(
+            st.text(min_size=1, max_size=3),
+            st.lists(st.integers(min_value=0, max_value=12), min_size=2, max_size=8, unique=True),
+            min_size=1, max_size=8,
+        ),
+        st.floats(min_value=0.05, max_value=0.95),
+    )
+    def test_filtered_blocks_are_subsets(self, blocks, s):
+        filtered = block_filtering(blocks, s=s)
+        for key, members in filtered.items():
+            assert set(members) <= set(blocks[key])

@@ -1,0 +1,140 @@
+"""Tests for suffix, sorted-neighborhood, and attribute-clustering blocking."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.blocking import (
+    BLOCK_BUILDERS,
+    attribute_clustering_blocking,
+    cluster_attributes,
+    multipass_sorted_neighborhood,
+    sorted_neighborhood_blocking,
+    suffix_blocking,
+    suffixes,
+)
+from repro.blocking.sorted_neighborhood import largest_token_key, smallest_token_key
+from repro.errors import ConfigurationError
+from repro.types import Profile
+
+
+def profile(eid, tokens, attributes=()):
+    return Profile(eid=eid, attributes=tuple(attributes), tokens=frozenset(tokens))
+
+
+class TestSuffixBlocking:
+    def test_suffixes(self):
+        assert suffixes("pavilion", 4) == ["pavilion", "avilion", "vilion", "ilion", "lion"]
+
+    def test_short_token_whole(self):
+        assert suffixes("abc", 4) == ["abc"]
+
+    def test_prefix_variation_blocked_together(self):
+        blocks = suffix_blocking(
+            [profile(1, {"faerber"}), profile(2, {"ferber"})], min_length=4
+        )
+        assert any(set(b) == {1, 2} for b in blocks.values())
+
+    def test_max_block_size_drops_frequent_suffixes(self):
+        profiles = [profile(i, {f"x{i}ing"}) for i in range(10)]
+        blocks = suffix_blocking(profiles, min_length=3, max_block_size=5)
+        assert all(len(b) <= 5 for b in blocks.values())
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            suffix_blocking([], min_length=0)
+        with pytest.raises(ConfigurationError):
+            suffix_blocking([], max_block_size=1)
+
+
+class TestSortedNeighborhood:
+    def _profiles(self):
+        return [profile(i, {t}) for i, t in enumerate("alpha beta gamma delta epsilon".split())]
+
+    def test_window_covers_adjacent_keys(self):
+        blocks = sorted_neighborhood_blocking(self._profiles(), window=2)
+        covered = {frozenset(b) for b in blocks.values()}
+        # alpha(0) and beta(1) are adjacent in sorted key order.
+        assert frozenset({0, 1}) in covered
+
+    def test_fewer_profiles_than_window(self):
+        blocks = sorted_neighborhood_blocking(self._profiles()[:2], window=4)
+        assert list(blocks.values()) == [[0, 1]]
+
+    def test_rejects_small_window(self):
+        with pytest.raises(ConfigurationError):
+            sorted_neighborhood_blocking([], window=1)
+
+    def test_multipass_unions_passes(self):
+        profiles = self._profiles()
+        single = sorted_neighborhood_blocking(profiles, window=2)
+        multi = multipass_sorted_neighborhood(
+            profiles, window=2, keys=(smallest_token_key, largest_token_key)
+        )
+        assert len(multi) == 2 * len(single)
+
+
+class TestAttributeClustering:
+    def _profiles(self):
+        return [
+            profile(1, set(), [("title", "alpha beta"), ("year", "1999")]),
+            profile(2, set(), [("name", "alpha beta gamma"), ("published", "1999")]),
+            profile(3, set(), [("title", "beta delta"), ("year", "2001")]),
+        ]
+
+    def test_similar_attributes_clustered_together(self):
+        from repro.blocking.attribute_clustering import attribute_vocabularies
+
+        clusters = cluster_attributes(
+            attribute_vocabularies(self._profiles()), threshold=0.2
+        )
+        assert clusters["title"] == clusters["name"]
+        assert clusters["year"] == clusters["published"]
+        assert clusters["title"] != clusters["year"]
+
+    def test_threshold_validated(self):
+        with pytest.raises(ConfigurationError):
+            cluster_attributes({}, threshold=1.0)
+
+    def test_blocking_separates_clusters(self):
+        blocks = attribute_clustering_blocking(self._profiles(), threshold=0.2)
+        # "beta" under title/name co-blocks 1, 2, 3; "1999" under year
+        # co-blocks 1 and 2 in a different cluster key.
+        assert any(set(b) >= {1, 2} for b in blocks.values())
+        keys_for_beta = [k for k in blocks if k.endswith(":beta")]
+        assert keys_for_beta
+
+
+class TestRegistry:
+    def test_all_builders_registered(self):
+        assert set(BLOCK_BUILDERS) == {
+            "token", "qgrams", "extended-qgrams", "suffix",
+            "sorted-neighborhood", "attribute-clustering",
+        }
+
+    def test_every_builder_runs_on_real_profiles(self, tiny_dirty_dataset):
+        from repro.reading.profiles import ProfileBuilder
+
+        builder = ProfileBuilder()
+        profiles = [builder.build(e) for e in tiny_dirty_dataset.entities[:60]]
+        for name, build in BLOCK_BUILDERS.items():
+            blocks = build(profiles)
+            assert isinstance(blocks, dict), name
+
+    def test_batch_pipeline_accepts_builder_choice(self, tiny_dirty_dataset):
+        from repro.batch import BatchERConfig, BatchERPipeline
+        from repro.classification import ThresholdClassifier
+
+        config = BatchERConfig(
+            r=None, s=0.5, block_builder="qgrams",
+            classifier=ThresholdClassifier(0.9),
+        )
+        result = BatchERPipeline(config).run(tiny_dirty_dataset.entities[:80])
+        assert result.comparisons_after_bb > 0
+        assert "qgrams" in result.config_label
+
+    def test_batch_pipeline_rejects_unknown_builder(self):
+        from repro.batch import BatchERConfig
+
+        with pytest.raises(ConfigurationError, match="unknown block builder"):
+            BatchERConfig(block_builder="magic")

@@ -1,0 +1,52 @@
+"""Unit tests for block purging."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.blocking import block_purging
+from repro.errors import ConfigurationError
+
+
+class TestBlockPurging:
+    def test_removes_oversized_blocks(self):
+        blocks = {"big": list(range(10)), "small": [1, 2]}
+        purged = block_purging(blocks, r=0.5)
+        assert set(purged) == {"small"}
+
+    def test_keeps_blocks_at_bound(self):
+        blocks = {"a": list(range(10)), "b": list(range(5))}
+        purged = block_purging(blocks, r=0.5)
+        assert "b" in purged  # 5 <= 0.5·10
+
+    def test_max_block_always_purged_when_r_below_one(self):
+        blocks = {"a": list(range(10)), "b": [1, 2]}
+        assert "a" not in block_purging(blocks, r=0.99)
+
+    def test_empty_collection(self):
+        assert block_purging({}, r=0.5) == {}
+
+    def test_input_not_modified(self):
+        blocks = {"a": list(range(10)), "b": [1, 2]}
+        block_purging(blocks, r=0.5)
+        assert set(blocks) == {"a", "b"}
+
+    @pytest.mark.parametrize("r", [0.0, 1.0, -1.0, 2.0])
+    def test_rejects_bad_ratio(self, r):
+        with pytest.raises(ConfigurationError):
+            block_purging({"a": [1]}, r=r)
+
+    @given(
+        st.dictionaries(
+            st.text(min_size=1, max_size=3),
+            st.lists(st.integers(), min_size=1, max_size=12),
+            min_size=1, max_size=8,
+        ),
+        st.floats(min_value=0.01, max_value=0.99),
+    )
+    def test_smaller_r_purges_at_least_as_much(self, blocks, r):
+        lax = block_purging(blocks, r=min(0.99, r * 2) if r * 2 < 1 else 0.99)
+        strict = block_purging(blocks, r=r)
+        assert set(strict) <= set(lax)

@@ -1,0 +1,78 @@
+"""Tests for q-grams and extended q-grams blocking."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.blocking import extended_qgrams_blocking, qgrams, qgrams_blocking
+from repro.blocking.qgrams import extended_qgram_keys
+from repro.errors import ConfigurationError
+from repro.types import Profile
+
+
+def profile(eid, tokens):
+    return Profile(eid=eid, attributes=(), tokens=frozenset(tokens))
+
+
+class TestQgrams:
+    def test_overlapping_grams(self):
+        assert qgrams("panel", 3) == ["pan", "ane", "nel"]
+
+    def test_short_token_returned_whole(self):
+        assert qgrams("ab", 3) == ["ab"]
+
+    @given(st.text(alphabet="abcdef", min_size=1, max_size=15))
+    def test_gram_count(self, token):
+        grams = qgrams(token, 3)
+        assert len(grams) == max(1, len(token) - 2)
+
+
+class TestQgramsBlocking:
+    def test_typo_robustness(self):
+        """'pavilion' and 'pavillion' share no token but share q-grams."""
+        blocks = qgrams_blocking(
+            [profile(1, {"pavilion"}), profile(2, {"pavillion"})]
+        )
+        shared = [b for b in blocks.values() if set(b) == {1, 2}]
+        assert shared
+
+    def test_rejects_bad_q(self):
+        with pytest.raises(ConfigurationError):
+            qgrams_blocking([], q=0)
+
+    def test_more_blocks_than_token_blocking(self, tiny_dirty_dataset):
+        from repro.blocking import token_blocking
+        from repro.reading.profiles import ProfileBuilder
+
+        builder = ProfileBuilder()
+        profiles = [builder.build(e) for e in tiny_dirty_dataset.entities[:100]]
+        assert len(qgrams_blocking(profiles)) > len(token_blocking(profiles))
+
+
+class TestExtendedQgrams:
+    def test_single_gram_token(self):
+        assert extended_qgram_keys("ab", q=3) == {"ab"}
+
+    def test_keys_tolerate_one_corrupted_gram(self):
+        clean = extended_qgram_keys("pavilion", q=3, threshold=0.8)
+        typo = extended_qgram_keys("paviljon", q=3, threshold=0.8)
+        # Not asserted to overlap for arbitrary typos, but both sides must
+        # produce multiple keys (the redundancy the method relies on).
+        assert len(clean) > 1
+        assert len(typo) > 1
+
+    def test_threshold_one_concatenates_everything(self):
+        keys = extended_qgram_keys("panel", q=3, threshold=1.0)
+        assert keys == {"pananenel"}
+
+    def test_blocking_validates_threshold(self):
+        with pytest.raises(ConfigurationError):
+            extended_qgrams_blocking([], threshold=0.0)
+
+    def test_blocking_produces_blocks(self):
+        blocks = extended_qgrams_blocking(
+            [profile(1, {"pavilion"}), profile(2, {"pavilion"})]
+        )
+        assert any(set(b) == {1, 2} for b in blocks.values())

@@ -1,0 +1,49 @@
+"""Unit tests for classification."""
+
+from __future__ import annotations
+
+from repro.classification import OracleClassifier, ThresholdClassifier
+from repro.types import Comparison, Profile, ScoredComparison
+
+
+def scored(i, j, sim):
+    a = Profile(eid=i, attributes=(), tokens=frozenset())
+    b = Profile(eid=j, attributes=(), tokens=frozenset())
+    return ScoredComparison(Comparison(a, b), similarity=sim)
+
+
+class TestThresholdClassifier:
+    def test_above_threshold_is_match(self):
+        match = ThresholdClassifier(0.5).classify(scored(1, 2, 0.8))
+        assert match is not None
+        assert match.key() == (1, 2)
+        assert match.similarity == 0.8
+
+    def test_at_threshold_is_match(self):
+        assert ThresholdClassifier(0.5).classify(scored(1, 2, 0.5)) is not None
+
+    def test_below_threshold_is_none(self):
+        assert ThresholdClassifier(0.5).classify(scored(1, 2, 0.49)) is None
+
+
+class TestOracleClassifier:
+    def test_true_pair_matches_regardless_of_similarity(self):
+        oracle = OracleClassifier.from_pairs([(2, 1)])
+        assert oracle.classify(scored(1, 2, 0.0)) is not None
+
+    def test_false_pair_never_matches(self):
+        oracle = OracleClassifier.from_pairs([(1, 2)])
+        assert oracle.classify(scored(1, 3, 1.0)) is None
+
+    def test_pairs_canonicalized_both_directions(self):
+        oracle = OracleClassifier.from_pairs([(5, 4)])
+        assert oracle.classify(scored(4, 5, 0.1)) is not None
+        assert oracle.classify(scored(5, 4, 0.1)) is not None
+
+    def test_empty_truth(self):
+        oracle = OracleClassifier.from_pairs([])
+        assert oracle.classify(scored(1, 2, 1.0)) is None
+
+    def test_tuple_identifiers(self):
+        oracle = OracleClassifier.from_pairs([(("x", 1), ("y", 2))])
+        assert oracle.classify(scored(("y", 2), ("x", 1), 0.0)) is not None

@@ -1,0 +1,79 @@
+"""Tests for center and merge-center clustering."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.clustering import (
+    center_clustering,
+    clusters_from_matches,
+    merge_center_clustering,
+)
+from repro.types import Match
+
+
+def m(a, b, sim=1.0):
+    return Match(left=a, right=b, similarity=sim)
+
+
+class TestCenterClustering:
+    def test_simple_cluster(self):
+        clusters = center_clustering([m(1, 2), m(1, 3)])
+        assert clusters == [frozenset({1, 2, 3})]
+
+    def test_non_center_edges_ignored(self):
+        # (1,2) forms cluster with center 1; (2,3) attaches to member 2 → no.
+        clusters = center_clustering([m(1, 2, 0.9), m(2, 3, 0.5)])
+        assert frozenset({1, 2}) in clusters
+        assert all(3 not in c for c in clusters)
+
+    def test_similarity_order_determines_centers(self):
+        # Strongest edge first: (2,3) creates center 2; then (1,2) joins 1.
+        clusters = center_clustering([m(1, 2, 0.5), m(2, 3, 0.9)])
+        assert clusters == [frozenset({1, 2, 3})]
+
+    def test_empty(self):
+        assert center_clustering([]) == []
+
+
+class TestMergeCenterClustering:
+    def test_center_edges_merge_clusters(self):
+        matches = [m(1, 2, 0.9), m(3, 4, 0.8), m(1, 3, 0.7)]
+        clusters = merge_center_clustering(matches)
+        assert clusters == [frozenset({1, 2, 3, 4})]
+
+    def test_at_least_as_fine_as_connected_components(self):
+        matches = [m(1, 2, 0.9), m(2, 3, 0.5), m(4, 5, 0.8)]
+        merge = merge_center_clustering(matches)
+        cc = clusters_from_matches(matches)
+        merged_entities = {e for c in merge for e in c}
+        cc_entities = {e for c in cc for e in c}
+        assert merged_entities <= cc_entities
+
+    def test_empty(self):
+        assert merge_center_clustering([]) == []
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    st.lists(
+        st.tuples(
+            st.integers(0, 15), st.integers(0, 15),
+            st.floats(min_value=0.01, max_value=1.0),
+        ).filter(lambda t: t[0] != t[1]),
+        max_size=25,
+    )
+)
+def test_all_algorithms_produce_disjoint_refinements(raw):
+    matches = [m(a, b, s) for a, b, s in raw]
+    cc_entities = {e for c in clusters_from_matches(matches) for e in c}
+    for algorithm in (center_clustering, merge_center_clustering):
+        clusters = algorithm(matches)
+        seen: set = set()
+        for cluster in clusters:
+            assert len(cluster) >= 2
+            assert not (cluster & seen)
+            seen |= cluster
+        # Conservative algorithms never cluster entities CC would not.
+        assert seen <= cc_entities

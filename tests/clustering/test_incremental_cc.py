@@ -1,0 +1,84 @@
+"""Tests for the incremental match clusterer."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.clustering import IncrementalClusterer, clusters_from_matches
+from repro.types import Match
+
+
+class TestIncrementalClusterer:
+    def test_transitive_merging(self):
+        c = IncrementalClusterer()
+        c.add_match((1, 2))
+        c.add_match((2, 3))
+        assert c.same_entity(1, 3)
+        assert c.cluster_of(1) == frozenset({1, 2, 3})
+
+    def test_add_match_reports_effective_merges(self):
+        c = IncrementalClusterer()
+        assert c.add_match((1, 2)) is True
+        assert c.add_match((2, 1)) is False
+        assert c.merges == 1
+
+    def test_accepts_match_objects(self):
+        c = IncrementalClusterer()
+        c.add_match(Match(left=1, right=2, similarity=0.9))
+        assert c.same_entity(1, 2)
+
+    def test_unknown_entities_are_singletons(self):
+        c = IncrementalClusterer()
+        assert c.cluster_of(42) == frozenset({42})
+        assert c.same_entity(42, 42)
+        assert not c.same_entity(42, 43)
+
+    def test_clusters_sorted_by_size(self):
+        c = IncrementalClusterer()
+        c.add_matches([(1, 2), (2, 3), (10, 11)])
+        clusters = c.clusters()
+        assert clusters[0] == frozenset({1, 2, 3})
+        assert clusters[1] == frozenset({10, 11})
+
+    def test_add_matches_counts_merges(self):
+        c = IncrementalClusterer()
+        assert c.add_matches([(1, 2), (1, 2), (3, 4)]) == 2
+
+    def test_tuple_identifiers(self):
+        c = IncrementalClusterer()
+        c.add_match((("x", 1), ("y", 2)))
+        assert c.same_entity(("x", 1), ("y", 2))
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 30), st.integers(0, 30)).filter(
+                lambda p: p[0] != p[1]
+            ),
+            max_size=40,
+        )
+    )
+    def test_clusters_partition_matched_entities(self, match_pairs):
+        clusters = clusters_from_matches(match_pairs)
+        seen: set = set()
+        for cluster in clusters:
+            assert len(cluster) >= 2
+            assert not (cluster & seen)  # disjoint
+            seen |= cluster
+        matched_entities = {e for pair in match_pairs for e in pair}
+        assert seen <= matched_entities
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 20), st.integers(0, 20)).filter(
+                lambda p: p[0] != p[1]
+            ),
+            max_size=30,
+        )
+    )
+    def test_order_independent(self, match_pairs):
+        forward = set(clusters_from_matches(match_pairs))
+        backward = set(clusters_from_matches(list(reversed(match_pairs))))
+        assert forward == backward

@@ -1,0 +1,50 @@
+"""Unit tests for profile comparators."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.comparison import AttributeWeightedComparator, TokenSetComparator, dice
+from repro.types import Comparison, Profile
+
+
+def profile(eid, attrs):
+    tokens = frozenset(t for _, v in attrs for t in v.split())
+    return Profile(eid=eid, attributes=tuple(attrs), tokens=tokens)
+
+
+class TestTokenSetComparator:
+    def test_default_is_jaccard(self):
+        a = profile(1, [("t", "x y")])
+        b = profile(2, [("t", "y z")])
+        scored = TokenSetComparator().compare(Comparison(a, b))
+        assert scored.similarity == pytest.approx(1 / 3)
+
+    def test_named_construction(self):
+        comparator = TokenSetComparator.named("dice")
+        assert comparator.similarity is dice
+
+    def test_preserves_comparison_identity(self):
+        a, b = profile(1, [("t", "x")]), profile(2, [("t", "x")])
+        comparison = Comparison(a, b)
+        scored = TokenSetComparator().compare(comparison)
+        assert scored.comparison is comparison
+
+
+class TestAttributeWeightedComparator:
+    def test_averages_over_shared_attributes(self):
+        a = profile(1, [("title", "x y"), ("year", "1999")])
+        b = profile(2, [("title", "x y"), ("year", "2000")])
+        score = AttributeWeightedComparator().score(a, b)
+        assert score == pytest.approx((1.0 + 0.0) / 2)
+
+    def test_falls_back_to_profile_tokens_without_shared_names(self):
+        a = profile(1, [("name", "x y")])
+        b = profile(2, [("label", "x y")])
+        score = AttributeWeightedComparator().score(a, b)
+        assert score == 1.0
+
+    def test_compare_wraps_score(self):
+        a, b = profile(1, [("t", "x")]), profile(2, [("t", "x")])
+        scored = AttributeWeightedComparator().compare(Comparison(a, b))
+        assert scored.similarity == 1.0

@@ -1,0 +1,142 @@
+"""Unit and property tests for the similarity measures."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.comparison import (
+    SET_SIMILARITIES,
+    cosine,
+    dice,
+    get_set_similarity,
+    jaccard,
+    jaro,
+    jaro_winkler,
+    levenshtein,
+    levenshtein_similarity,
+    monge_elkan,
+    monge_elkan_symmetric,
+    overlap,
+)
+
+token_sets = st.sets(st.sampled_from(list("abcdefgh")), max_size=6).map(
+    lambda s: {f"tok_{c}" for c in s}
+)
+
+
+class TestJaccard:
+    def test_known_value(self):
+        assert jaccard({"a", "b"}, {"b", "c"}) == pytest.approx(1 / 3)
+
+    def test_identical(self):
+        assert jaccard({"a"}, {"a"}) == 1.0
+
+    def test_disjoint(self):
+        assert jaccard({"a"}, {"b"}) == 0.0
+
+    def test_both_empty(self):
+        assert jaccard(set(), set()) == 1.0
+
+    def test_one_empty(self):
+        assert jaccard({"a"}, set()) == 0.0
+
+
+class TestOtherSetMeasures:
+    def test_dice_known_value(self):
+        assert dice({"a", "b"}, {"b", "c"}) == pytest.approx(0.5)
+
+    def test_overlap_known_value(self):
+        assert overlap({"a", "b"}, {"b"}) == 1.0
+
+    def test_cosine_known_value(self):
+        assert cosine({"a", "b"}, {"b", "c"}) == pytest.approx(0.5)
+
+    @given(token_sets, token_sets)
+    def test_all_measures_in_unit_interval(self, a, b):
+        for name, fn in SET_SIMILARITIES.items():
+            value = fn(a, b)
+            assert 0.0 <= value <= 1.0, name
+
+    @given(token_sets, token_sets)
+    def test_all_measures_symmetric(self, a, b):
+        for fn in SET_SIMILARITIES.values():
+            assert fn(a, b) == pytest.approx(fn(b, a))
+
+    @given(token_sets)
+    def test_all_measures_reflexive(self, a):
+        for fn in SET_SIMILARITIES.values():
+            assert fn(a, a) == 1.0
+
+    def test_registry_lookup(self):
+        assert get_set_similarity("jaccard") is jaccard
+        with pytest.raises(KeyError):
+            get_set_similarity("nope")
+
+
+class TestLevenshtein:
+    def test_classic_example(self):
+        assert levenshtein("kitten", "sitting") == 3
+
+    def test_empty_strings(self):
+        assert levenshtein("", "abc") == 3
+        assert levenshtein("", "") == 0
+
+    def test_similarity_normalization(self):
+        assert levenshtein_similarity("abc", "abc") == 1.0
+        assert levenshtein_similarity("", "") == 1.0
+        assert 0.0 <= levenshtein_similarity("abc", "xyz") <= 1.0
+
+    @given(st.text(max_size=12), st.text(max_size=12))
+    def test_symmetric(self, a, b):
+        assert levenshtein(a, b) == levenshtein(b, a)
+
+    @given(st.text(max_size=12), st.text(max_size=12))
+    def test_bounded_by_longest(self, a, b):
+        assert levenshtein(a, b) <= max(len(a), len(b))
+
+
+class TestMongeElkan:
+    def test_identical_sequences(self):
+        assert monge_elkan(["glass", "panel"], ["glass", "panel"]) == 1.0
+
+    def test_tolerates_typos(self):
+        typo = monge_elkan(["glass", "panel"], ["glas", "pnael"])
+        exact_set = jaccard({"glass", "panel"}, {"glas", "pnael"})
+        assert typo > exact_set  # the point of the measure
+
+    def test_empty_cases(self):
+        assert monge_elkan([], []) == 1.0
+        assert monge_elkan(["a"], []) == 0.0
+
+    def test_asymmetric(self):
+        a, b = ["glass"], ["glass", "zzzz"]
+        assert monge_elkan(a, b) != monge_elkan(b, a)
+
+    @given(
+        st.lists(st.text(alphabet="abcd", min_size=1, max_size=5), max_size=4),
+        st.lists(st.text(alphabet="abcd", min_size=1, max_size=5), max_size=4),
+    )
+    def test_symmetric_variant_is_symmetric_and_bounded(self, a, b):
+        s = monge_elkan_symmetric(a, b)
+        assert s == pytest.approx(monge_elkan_symmetric(b, a))
+        assert 0.0 <= s <= 1.0
+
+
+class TestJaroWinkler:
+    def test_identical(self):
+        assert jaro("panel", "panel") == 1.0
+
+    def test_empty(self):
+        assert jaro("", "abc") == 0.0
+
+    def test_known_value(self):
+        assert jaro("martha", "marhta") == pytest.approx(0.944, abs=1e-3)
+
+    def test_winkler_prefix_boost(self):
+        assert jaro_winkler("panel", "panle") >= jaro("panel", "panle")
+
+    @given(st.text(max_size=10), st.text(max_size=10))
+    def test_in_unit_interval(self, a, b):
+        assert 0.0 <= jaro_winkler(a, b) <= 1.0

@@ -1,0 +1,63 @@
+"""Unit tests for the clean-clean ER support."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.cleanclean import combine, source_of, tag, tag_pairs
+from repro.errors import DatasetError
+from repro.types import EntityDescription
+
+
+def entities(prefix: str, n: int) -> list[EntityDescription]:
+    return [EntityDescription.create(i, {"a": f"{prefix}{i}"}) for i in range(n)]
+
+
+class TestTag:
+    def test_wraps_identifier(self):
+        e = tag(EntityDescription.create(3, {"a": "x"}), "web")
+        assert e.eid == ("web", 3)
+        assert e.source == "web"
+
+
+class TestCombine:
+    def test_interleaves_round_robin(self):
+        combined = list(combine(entities("l", 2), entities("r", 2)))
+        assert [e.eid for e in combined] == [("x", 0), ("y", 0), ("x", 1), ("y", 1)]
+
+    def test_handles_uneven_lengths(self):
+        combined = list(combine(entities("l", 3), entities("r", 1)))
+        assert len(combined) == 4
+        assert combined[-1].eid == ("x", 2)
+
+    def test_right_longer(self):
+        combined = list(combine(entities("l", 1), entities("r", 3)))
+        assert [e.eid for e in combined].count(("y", 2)) == 1
+
+    def test_sequential_mode(self):
+        combined = list(combine(entities("l", 2), entities("r", 2), interleave=False))
+        assert [e.eid[0] for e in combined] == ["x", "x", "y", "y"]
+
+    def test_custom_names(self):
+        combined = list(combine(entities("l", 1), entities("r", 1), "amazon", "google"))
+        assert combined[0].eid[0] == "amazon"
+
+    def test_same_name_rejected(self):
+        with pytest.raises(DatasetError):
+            list(combine(entities("l", 1), entities("r", 1), "a", "a"))
+
+    def test_empty_inputs(self):
+        assert list(combine([], [])) == []
+
+
+class TestHelpers:
+    def test_source_of(self):
+        assert source_of(("x", 5)) == "x"
+
+    def test_source_of_rejects_plain_id(self):
+        with pytest.raises(DatasetError):
+            source_of(5)
+
+    def test_tag_pairs(self):
+        tagged = tag_pairs([(1, 2)])
+        assert tagged == {(("x", 1), ("y", 2))}

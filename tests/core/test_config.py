@@ -1,0 +1,38 @@
+"""Unit tests for the stream pipeline configuration."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import StreamERConfig
+from repro.errors import ConfigurationError
+
+
+class TestStreamERConfig:
+    def test_defaults_are_valid(self):
+        cfg = StreamERConfig()
+        assert cfg.alpha > 1
+        assert 0 < cfg.beta < 1
+
+    @pytest.mark.parametrize("alpha", [1, 0, -5])
+    def test_rejects_bad_alpha(self, alpha):
+        with pytest.raises(ConfigurationError):
+            StreamERConfig(alpha=alpha)
+
+    @pytest.mark.parametrize("beta", [0.0, 1.0, -0.1, 2.0])
+    def test_rejects_bad_beta(self, beta):
+        with pytest.raises(ConfigurationError):
+            StreamERConfig(beta=beta)
+
+    def test_alpha_for_applies_fraction(self):
+        assert StreamERConfig.alpha_for(1000, 0.05) == 50
+        assert StreamERConfig.alpha_for(1000, 0.005) == 5
+
+    def test_alpha_for_clamps_to_two(self):
+        assert StreamERConfig.alpha_for(10, 0.005) == 2
+
+    def test_alpha_for_rejects_bad_input(self):
+        with pytest.raises(ConfigurationError):
+            StreamERConfig.alpha_for(0)
+        with pytest.raises(ConfigurationError):
+            StreamERConfig.alpha_for(100, 0.0)

@@ -1,0 +1,91 @@
+"""Property-based equivalence: optimized pipeline ≡ pure functional model.
+
+The optimized stage implementation (local state, id-only blocks, profile
+map) must discover exactly the matches the paper's pure functional model
+(§III) prescribes, on arbitrary inputs.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.classification import ThresholdClassifier
+from repro.core import StreamERConfig, StreamERPipeline
+from repro.core.model import ModelConfig, fold_er
+from repro.types import EntityDescription
+
+# Small token alphabet so entities actually collide in blocks.
+tokens = st.sampled_from(
+    ["glass", "panel", "wood", "fibre", "roof", "window", "door", "steel"]
+)
+values = st.lists(tokens, min_size=1, max_size=4).map(" ".join)
+attributes = st.dictionaries(
+    st.sampled_from(["title", "material", "part", "desc"]), values,
+    min_size=1, max_size=3,
+)
+
+
+@st.composite
+def entity_lists(draw):
+    n = draw(st.integers(min_value=0, max_value=12))
+    return [
+        EntityDescription.create(i, draw(attributes)) for i in range(n)
+    ]
+
+
+@given(
+    entities=entity_lists(),
+    alpha=st.integers(min_value=2, max_value=8),
+    beta=st.sampled_from([0.1, 0.5, 0.9]),
+    threshold=st.sampled_from([0.2, 0.5]),
+    enable_bc=st.booleans(),
+    enable_cc=st.booleans(),
+)
+@settings(max_examples=60, deadline=None)
+def test_pipeline_matches_functional_model(
+    entities, alpha, beta, threshold, enable_bc, enable_cc
+):
+    classifier = ThresholdClassifier(threshold)
+    pipeline = StreamERPipeline(
+        StreamERConfig(
+            alpha=alpha,
+            beta=beta,
+            enable_block_cleaning=enable_bc,
+            enable_comparison_cleaning=enable_cc,
+            classifier=classifier,
+        ),
+        instrument=False,
+    )
+    result = pipeline.process_many(entities)
+
+    model_state = fold_er(
+        entities,
+        ModelConfig(
+            alpha=alpha,
+            beta=beta,
+            enable_block_cleaning=enable_bc,
+            enable_comparison_cleaning=enable_cc,
+            classifier=classifier,
+        ),
+    )
+    assert result.match_pairs == set(model_state.matches)
+
+
+@given(entities=entity_lists())
+@settings(max_examples=30, deadline=None)
+def test_blocks_agree_between_pipeline_and_model(entities):
+    """The block collections (and blacklists) coincide too."""
+    pipeline = StreamERPipeline(
+        StreamERConfig(alpha=4, beta=0.5, classifier=ThresholdClassifier(0.5)),
+        instrument=False,
+    )
+    pipeline.process_many(entities)
+    model_state = fold_er(
+        entities, ModelConfig(alpha=4, beta=0.5, classifier=ThresholdClassifier(0.5))
+    )
+    pipeline_blocks = {
+        key: tuple(block) for key, block in pipeline.state.blocks.items()
+    }
+    assert pipeline_blocks == dict(model_state.blocks)
+    assert pipeline.state.blacklist.keys == set(model_state.blacklist)

@@ -1,0 +1,108 @@
+"""Unit tests for the pure functional model (§III)."""
+
+from __future__ import annotations
+
+from repro.classification import ThresholdClassifier
+from repro.core.model import (
+    FunctionalState,
+    ModelConfig,
+    f_bb_bp,
+    f_cc,
+    f_cg,
+    f_dr,
+    f_er,
+    fold_er,
+    stream_er,
+)
+from repro.types import EntityDescription, pair_key
+
+
+def config(**kwargs) -> ModelConfig:
+    defaults = dict(alpha=100, beta=0.5, classifier=ThresholdClassifier(0.3))
+    defaults.update(kwargs)
+    return ModelConfig(**defaults)
+
+
+class TestIndividualFunctions:
+    def test_f_dr_leaves_state_unchanged(self):
+        state = FunctionalState()
+        entity = EntityDescription.create(1, {"a": "glass panel"})
+        profile, keys, out_state = f_dr(entity, state, config())
+        assert out_state is state
+        assert keys == profile.tokens
+        assert {"glass", "panel"} <= keys
+
+    def test_f_bb_bp_grows_blocks_immutably(self):
+        cfg = config()
+        state = FunctionalState()
+        e1 = EntityDescription.create(1, {"a": "glass"})
+        p1, k1, state = f_dr(e1, state, cfg)
+        _, _, _, state1 = f_bb_bp(p1, k1, state, cfg)
+        assert state.blocks == {}  # original untouched
+        assert state1.blocks["glass"] == (1,)
+
+    def test_f_bb_bp_prunes_and_blacklists(self):
+        cfg = config(alpha=2)
+        state = FunctionalState()
+        for eid in (1, 2):
+            e = EntityDescription.create(eid, {"a": "shared"})
+            p, k, state = f_dr(e, state, cfg)
+            p, k, snapshot, state = f_bb_bp(p, k, state, cfg)
+        assert "shared" in state.blacklist
+        assert "shared" not in state.blocks
+        assert snapshot == {}
+
+    def test_f_cg_dirty_excludes_self(self):
+        cfg = config()
+        profile, _, _ = f_dr(EntityDescription.create(2, {"a": "x"}), FunctionalState(), cfg)
+        candidates, _ = f_cg(profile, {"x": (1, 2)}, FunctionalState(), cfg)
+        assert candidates == [1]
+
+    def test_f_cg_clean_clean_cross_source_only(self):
+        cfg = config(clean_clean=True)
+        entity = EntityDescription.create(("x", 2), {"a": "t"}, source="x")
+        profile, _, _ = f_dr(entity, FunctionalState(), cfg)
+        snapshot = {"t": (("x", 1), ("y", 1), ("x", 2))}
+        candidates, _ = f_cg(profile, snapshot, FunctionalState(), cfg)
+        assert candidates == [("y", 1)]
+
+    def test_f_cc_average_threshold(self):
+        kept, _ = f_cc([1, 2, 2, 3], FunctionalState(), config())
+        # counts 1:1, 2:2, 3:1; avg = 4/3 → only 2 survives
+        assert kept == [2]
+
+    def test_f_cc_disabled_dedupes(self):
+        kept, _ = f_cc([1, 2, 2], FunctionalState(), config(enable_comparison_cleaning=False))
+        assert sorted(kept) == [1, 2]
+
+
+class TestFoldAndStream:
+    def test_fold_finds_duplicates(self, paper_entities):
+        state = fold_er(paper_entities, config(alpha=5, beta=0.6))
+        assert pair_key(1, 3) in state.matches
+
+    def test_fold_accepts_initial_state(self, paper_entities):
+        cfg = config(alpha=5, beta=0.6)
+        first = fold_er(paper_entities[:3], cfg)
+        resumed = fold_er(paper_entities[3:], cfg, initial=first)
+        complete = fold_er(paper_entities, cfg)
+        assert resumed.matches == complete.matches
+
+    def test_stream_yields_monotone_match_sets(self, paper_entities):
+        snapshots = list(stream_er(paper_entities, config(alpha=5, beta=0.6)))
+        assert len(snapshots) == len(paper_entities)
+        for earlier, later in zip(snapshots, snapshots[1:]):
+            assert earlier <= later
+
+    def test_f_er_returns_new_state(self):
+        state = FunctionalState()
+        entity = EntityDescription.create(1, {"a": "x y"})
+        out = f_er(entity, state, config())
+        assert out is not state
+        assert out.profiles  # p_1 registered
+
+    def test_no_block_cleaning_keeps_all_blocks(self, paper_entities):
+        cfg = config(alpha=2, enable_block_cleaning=False)
+        state = fold_er(paper_entities, cfg)
+        assert state.blacklist == frozenset()
+        assert len(state.blocks["panel"]) == 5

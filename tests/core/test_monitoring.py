@@ -1,0 +1,85 @@
+"""Tests for pipeline monitoring."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.classification import ThresholdClassifier
+from repro.core import StreamERConfig, StreamERPipeline
+from repro.core.monitoring import PipelineMonitor, Snapshot
+from repro.errors import ConfigurationError
+from repro.types import EntityDescription
+
+
+def make_monitor(interval=10, on_snapshot=None):
+    pipeline = StreamERPipeline(
+        StreamERConfig(alpha=100, beta=0.1, classifier=ThresholdClassifier(0.5)),
+        instrument=False,
+    )
+    return PipelineMonitor(pipeline, interval=interval, on_snapshot=on_snapshot)
+
+
+def entities(n):
+    return [
+        EntityDescription.create(i, {"t": f"token{i % 7} shared words"})
+        for i in range(n)
+    ]
+
+
+class TestValidation:
+    def test_rejects_bad_interval(self):
+        pipeline = StreamERPipeline(instrument=False)
+        with pytest.raises(ConfigurationError):
+            PipelineMonitor(pipeline, interval=0)
+
+    def test_rejects_tiny_window(self):
+        pipeline = StreamERPipeline(instrument=False)
+        with pytest.raises(ConfigurationError):
+            PipelineMonitor(pipeline, window=1)
+
+
+class TestSnapshots:
+    def test_emitted_on_schedule(self):
+        received: list[Snapshot] = []
+        monitor = make_monitor(interval=10, on_snapshot=received.append)
+        monitor.process_many(entities(35))
+        assert len(received) == 3
+        assert [s.entities_processed for s in received] == [10, 20, 30]
+
+    def test_manual_snapshot(self):
+        monitor = make_monitor(interval=1000)
+        monitor.process_many(entities(5))
+        snap = monitor.snapshot()
+        assert snap.entities_processed == 5
+        assert snap.profiles_stored == 5
+        assert snap.blocks > 0
+
+    def test_recent_rates_use_previous_snapshot(self):
+        monitor = make_monitor(interval=10)
+        monitor.process_many(entities(30))
+        last = monitor.history[-1]
+        assert last.throughput_recent > 0
+        assert last.comparisons_per_entity_recent >= 0
+
+    def test_history_bounded(self):
+        monitor = make_monitor(interval=1)
+        monitor.history = type(monitor.history)(maxlen=5)
+        monitor.process_many(entities(20))
+        assert len(monitor.history) == 5
+
+    def test_matches_pass_through(self):
+        monitor = make_monitor(interval=100)
+        out = monitor.process_many(
+            [
+                EntityDescription.create(1, {"a": "alpha beta gamma"}),
+                EntityDescription.create(2, {"a": "alpha beta gamma"}),
+            ]
+        )
+        assert [m.key() for m in out] == [(1, 2)]
+
+    def test_summary_readable(self):
+        monitor = make_monitor(interval=1000)
+        monitor.process_many(entities(3))
+        text = monitor.snapshot().summary()
+        assert "3 entities" in text
+        assert "blocks" in text

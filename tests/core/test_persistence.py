@@ -1,0 +1,104 @@
+"""Tests for ER state suspend/resume."""
+
+from __future__ import annotations
+
+import io
+
+import pytest
+
+from repro.classification import OracleClassifier, ThresholdClassifier
+from repro.core import StreamERConfig, StreamERPipeline
+from repro.core.persistence import dump_state, load_state
+from repro.errors import DatasetError
+
+
+def make_pipeline(ds, threshold=None):
+    classifier = (
+        ThresholdClassifier(threshold)
+        if threshold is not None
+        else OracleClassifier.from_pairs(ds.ground_truth)
+    )
+    return StreamERPipeline(
+        StreamERConfig(
+            alpha=StreamERConfig.alpha_for(len(ds), 0.05),
+            beta=0.05,
+            clean_clean=ds.clean_clean,
+            classifier=classifier,
+        ),
+        instrument=False,
+    )
+
+
+class TestRoundTrip:
+    def test_resume_equals_uninterrupted(self, tiny_dirty_dataset, tmp_path):
+        ds = tiny_dirty_dataset
+        entities = list(ds.stream())
+        half = len(entities) // 2
+
+        uninterrupted = make_pipeline(ds)
+        uninterrupted.process_many(entities)
+
+        first = make_pipeline(ds)
+        first.process_many(entities[:half])
+        path = tmp_path / "state.json"
+        dump_state(first, path)
+
+        resumed = make_pipeline(ds)
+        load_state(resumed, path)
+        assert resumed.entities_processed == half
+        resumed.process_many(entities[half:])
+
+        assert resumed.cl.matches.pairs() == uninterrupted.cl.matches.pairs()
+        assert dict(resumed.bb.blocks.items()) == dict(
+            uninterrupted.bb.blocks.items()
+        )
+        assert resumed.bb.blacklist.keys == uninterrupted.bb.blacklist.keys
+
+    def test_clean_clean_tuple_ids_round_trip(self, tiny_clean_dataset, tmp_path):
+        ds = tiny_clean_dataset
+        entities = list(ds.stream())
+        pipeline = make_pipeline(ds)
+        pipeline.process_many(entities[:100])
+        path = tmp_path / "state.json"
+        dump_state(pipeline, path)
+
+        restored = make_pipeline(ds)
+        load_state(restored, path)
+        assert restored.cl.matches.pairs() == pipeline.cl.matches.pairs()
+        assert len(restored.lm.profiles) == len(pipeline.lm.profiles)
+
+    def test_dump_to_stream(self, tiny_dirty_dataset):
+        ds = tiny_dirty_dataset
+        pipeline = make_pipeline(ds, threshold=0.9)
+        pipeline.process_many(list(ds.stream())[:20])
+        buffer = io.StringIO()
+        dump_state(pipeline, buffer)
+        buffer.seek(0)
+        restored = make_pipeline(ds, threshold=0.9)
+        load_state(restored, buffer)
+        assert restored.entities_processed == 20
+
+
+class TestGuards:
+    def test_load_into_used_pipeline_rejected(self, tiny_dirty_dataset, tmp_path):
+        ds = tiny_dirty_dataset
+        pipeline = make_pipeline(ds, threshold=0.9)
+        pipeline.process_many(list(ds.stream())[:5])
+        path = tmp_path / "state.json"
+        dump_state(pipeline, path)
+        with pytest.raises(DatasetError, match="fresh"):
+            load_state(pipeline, path)
+
+    def test_rejects_foreign_document(self, tiny_dirty_dataset, tmp_path):
+        path = tmp_path / "other.json"
+        path.write_text('{"format": "something-else"}')
+        pipeline = make_pipeline(tiny_dirty_dataset, threshold=0.9)
+        with pytest.raises(DatasetError, match="not a repro"):
+            load_state(pipeline, path)
+
+    def test_rejects_future_version(self, tiny_dirty_dataset, tmp_path):
+        path = tmp_path / "future.json"
+        path.write_text('{"format": "repro-er-state", "version": 99}')
+        pipeline = make_pipeline(tiny_dirty_dataset, threshold=0.9)
+        with pytest.raises(DatasetError, match="version"):
+            load_state(pipeline, path)

@@ -1,0 +1,84 @@
+"""Tests for the design-choice ablation variants."""
+
+from __future__ import annotations
+
+from repro.classification import ThresholdClassifier
+from repro.core import StreamERConfig, StreamERPipeline
+from repro.core.variants import InlineProfilePipeline, approx_block_bytes
+from repro.types import Profile
+
+
+def config(threshold=0.6):
+    return StreamERConfig(alpha=50, beta=0.05, classifier=ThresholdClassifier(threshold))
+
+
+class TestInlineProfilePipeline:
+    def test_same_matches_as_reference(self, tiny_dirty_dataset):
+        ds = tiny_dirty_dataset
+        reference = StreamERPipeline(
+            StreamERConfig(
+                alpha=StreamERConfig.alpha_for(len(ds), 0.05),
+                beta=0.05,
+                classifier=ThresholdClassifier(0.6),
+            ),
+            instrument=False,
+        )
+        reference.process_many(ds.stream())
+        inline = InlineProfilePipeline(
+            StreamERConfig(
+                alpha=StreamERConfig.alpha_for(len(ds), 0.05),
+                beta=0.05,
+                classifier=ThresholdClassifier(0.6),
+            )
+        )
+        result = inline.process_many(ds.stream())
+        assert result.match_pairs == reference.cl.matches.pairs()
+
+    def test_same_matches_on_paper_example(self, paper_entities):
+        reference = StreamERPipeline(
+            StreamERConfig(alpha=5, beta=0.6, classifier=ThresholdClassifier(0.3)),
+            instrument=False,
+        )
+        reference.process_many(paper_entities)
+        inline = InlineProfilePipeline(
+            StreamERConfig(alpha=5, beta=0.6, classifier=ThresholdClassifier(0.3))
+        )
+        result = inline.process_many(paper_entities)
+        assert result.match_pairs == reference.cl.matches.pairs()
+
+    def test_counters_track(self, paper_entities):
+        inline = InlineProfilePipeline(
+            StreamERConfig(alpha=5, beta=0.6, classifier=ThresholdClassifier(0.3))
+        )
+        result = inline.process_many(paper_entities)
+        assert result.entities_processed == 5
+        assert result.comparisons_generated >= result.comparisons_after_cleaning
+        assert result.blocks_pruned >= 1  # "pavilion" hits α=5
+
+    def test_block_state_larger_than_id_blocks(self, tiny_dirty_dataset):
+        """The point of the paper's profile-maintenance choice."""
+        ds = tiny_dirty_dataset
+        entities = list(ds.stream())[:150]
+
+        inline = InlineProfilePipeline(config(0.99))
+        inline.process_many(entities)
+        reference = StreamERPipeline(config(0.99), instrument=False)
+        reference.process_many(entities)
+        id_blocks = {k: list(b) for k, b in reference.bb.blocks.items()}
+
+        assert inline.block_state_bytes() > 2 * approx_block_bytes(id_blocks)
+
+
+class TestApproxBlockBytes:
+    def test_counts_profile_payload(self):
+        small = {"k": [1, 2]}
+        profile = Profile(
+            eid=1,
+            attributes=(("title", "a long attribute value " * 4),),
+            tokens=frozenset({"several", "tokens", "here"}),
+        )
+        big = {"k": [profile, profile]}
+        assert approx_block_bytes(big) > approx_block_bytes(small)
+
+    def test_empty(self):
+        assert approx_block_bytes({}) > 0  # the dict itself

@@ -1,0 +1,65 @@
+"""Tests for the Table II dataset catalog."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets import (
+    DATASET_NAMES,
+    TABLE_II,
+    characteristics,
+    load,
+    spec,
+)
+from repro.errors import DatasetError
+
+
+class TestCatalog:
+    def test_five_datasets(self):
+        assert set(DATASET_NAMES) == {"cora", "cddb", "ag", "movies", "dbpedia"}
+
+    def test_table_ii_characteristics_nominal(self):
+        assert TABLE_II["cora"].size == 1290
+        assert TABLE_II["cora"].matches == 17100
+        assert TABLE_II["cddb"].avg_attributes == 17.8
+        assert TABLE_II["movies"].kind == "clean-clean"
+        assert TABLE_II["dbpedia"].size == (1_190_000, 2_160_000)
+
+    def test_spec_applies_default_scale(self):
+        s = spec("dbpedia")
+        assert s.total_size < 100_000  # scaled down for one box
+
+    def test_spec_custom_scale(self):
+        s = spec("cora", scale=0.1)
+        assert s.size == 129
+
+    def test_spec_unknown_name(self):
+        with pytest.raises(DatasetError, match="unknown dataset"):
+            spec("wikipedia")
+
+    def test_load_memoizes(self):
+        a = load("cora", scale=0.1)
+        b = load("cora", scale=0.1)
+        assert a is b
+
+    def test_relative_ordering_preserved(self):
+        sizes = {name: spec(name).total_size for name in DATASET_NAMES}
+        assert sizes["dbpedia"] == max(sizes.values())
+
+    def test_characteristics_row(self):
+        ds = load("cora", scale=0.2)
+        row = characteristics(ds)
+        assert row["name"] == "cora"
+        assert row["type"] == "dirty ER"
+        assert row["entities"] == len(ds.entities)
+
+    def test_cora_has_large_clusters(self):
+        """cora: 1.29k entities but 17.1k matches → clusters of ~27."""
+        ds = load("cora", scale=0.3)
+        ratio = len(ds.ground_truth) / len(ds.entities)
+        assert ratio > 5
+
+    def test_cddb_mostly_unique(self):
+        ds = load("cddb", scale=0.3)
+        ratio = len(ds.ground_truth) / len(ds.entities)
+        assert ratio < 0.1

@@ -1,0 +1,147 @@
+"""Tests for the synthetic dataset generator."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datasets import DatasetSpec, generate
+from repro.errors import DatasetError
+from repro.types import pair_key
+
+
+class TestDatasetSpec:
+    def test_rejects_unknown_kind(self):
+        with pytest.raises(DatasetError):
+            DatasetSpec(name="x", kind="weird")
+
+    def test_clean_clean_needs_pair_size(self):
+        with pytest.raises(DatasetError):
+            DatasetSpec(name="x", kind="clean-clean", size=100)
+
+    def test_dirty_rejects_pair_size(self):
+        with pytest.raises(DatasetError):
+            DatasetSpec(name="x", kind="dirty", size=(10, 10))
+
+    def test_total_size(self):
+        assert DatasetSpec(name="x", size=10).total_size == 10
+        cc = DatasetSpec(name="x", kind="clean-clean", size=(10, 20))
+        assert cc.total_size == 30
+
+    def test_scaled(self):
+        spec = DatasetSpec(name="x", size=1000, matches=500)
+        half = spec.scaled(0.5)
+        assert half.size == 500
+        assert half.matches == 250
+
+    def test_scaled_rejects_nonpositive(self):
+        with pytest.raises(DatasetError):
+            DatasetSpec(name="x", size=10).scaled(0)
+
+
+class TestGenerateDirty:
+    SPEC = DatasetSpec(
+        name="t", kind="dirty", size=400, matches=300,
+        avg_attributes=4.0, vocab_rare=4000, seed=9,
+    )
+
+    def test_entity_count_exact(self):
+        ds = generate(self.SPEC)
+        assert len(ds.entities) == 400
+
+    def test_match_count_close_to_target(self):
+        ds = generate(self.SPEC)
+        assert len(ds.ground_truth) == pytest.approx(300, rel=0.15)
+
+    def test_ground_truth_pairs_are_canonical_and_valid(self):
+        ds = generate(self.SPEC)
+        ids = {e.eid for e in ds.entities}
+        for i, j in ds.ground_truth:
+            assert (i, j) == pair_key(i, j)
+            assert i in ids and j in ids
+
+    def test_deterministic_in_seed(self):
+        a, b = generate(self.SPEC), generate(self.SPEC)
+        assert [e.eid for e in a.entities] == [e.eid for e in b.entities]
+        assert a.ground_truth == b.ground_truth
+        assert a.entities[0].attributes == b.entities[0].attributes
+
+    def test_different_seeds_differ(self):
+        other = DatasetSpec(
+            name="t", kind="dirty", size=400, matches=300,
+            avg_attributes=4.0, vocab_rare=4000, seed=10,
+        )
+        assert generate(self.SPEC).ground_truth != generate(other).ground_truth
+
+    def test_average_attributes_near_spec(self):
+        ds = generate(self.SPEC)
+        assert ds.average_attributes() == pytest.approx(4.0, rel=0.25)
+
+    def test_duplicates_share_tokens(self):
+        """Matched pairs must co-occur in blocks — they share rare tokens."""
+        from repro.reading.profiles import ProfileBuilder
+
+        ds = generate(self.SPEC)
+        builder = ProfileBuilder()
+        profiles = {e.eid: builder.build(e) for e in ds.entities}
+        shared = [
+            len(profiles[i].tokens & profiles[j].tokens)
+            for i, j in list(ds.ground_truth)[:50]
+        ]
+        assert sum(1 for s in shared if s >= 2) / len(shared) > 0.9
+
+
+class TestGenerateCleanClean:
+    SPEC = DatasetSpec(
+        name="t", kind="clean-clean", size=(120, 140), matches=100,
+        avg_attributes=4.0, vocab_rare=4000, seed=11,
+    )
+
+    def test_source_sizes(self):
+        ds = generate(self.SPEC)
+        x = [e for e in ds.entities if e.eid[0] == "x"]
+        y = [e for e in ds.entities if e.eid[0] == "y"]
+        assert len(x) == 120
+        assert len(y) == 140
+
+    def test_ground_truth_is_cross_source(self):
+        ds = generate(self.SPEC)
+        for i, j in ds.ground_truth:
+            assert {i[0], j[0]} == {"x", "y"}
+
+    def test_match_count_close(self):
+        ds = generate(self.SPEC)
+        assert len(ds.ground_truth) == pytest.approx(100, rel=0.15)
+
+
+class TestIncrements:
+    def test_splits_evenly(self):
+        ds = generate(TestGenerateDirty.SPEC)
+        increments = ds.increments(4)
+        assert len(increments) == 4
+        assert sum(len(i) for i in increments) == len(ds.entities)
+
+    def test_rejects_bad_count(self):
+        ds = generate(TestGenerateDirty.SPEC)
+        with pytest.raises(DatasetError):
+            ds.increments(0)
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    size=st.integers(min_value=10, max_value=120),
+    matches=st.integers(min_value=0, max_value=200),
+    seed=st.integers(min_value=0, max_value=1000),
+)
+def test_generator_respects_entity_budget(size, matches, seed):
+    spec = DatasetSpec(
+        name="p", kind="dirty", size=size, matches=matches,
+        vocab_rare=1000, seed=seed,
+    )
+    ds = generate(spec)
+    assert len(ds.entities) == size
+    # Pair budget is respected approximately from above: never > target by
+    # more than one cluster's worth.
+    max_pairs = matches + size * 2
+    assert len(ds.ground_truth) <= max_pairs

@@ -1,0 +1,38 @@
+"""Tests for ground-truth persistence and oracle construction."""
+
+from __future__ import annotations
+
+from repro.datasets import load_ground_truth, oracle_for, save_ground_truth
+from repro.types import Comparison, Profile, ScoredComparison
+
+
+class TestRoundTrip:
+    def test_plain_ids(self, tmp_path):
+        pairs = {(1, 2), (3, 9)}
+        path = tmp_path / "gt.jsonl"
+        save_ground_truth(pairs, path)
+        assert load_ground_truth(path) == pairs
+
+    def test_tuple_ids(self, tmp_path):
+        pairs = {(("x", 1), ("y", 2))}
+        path = tmp_path / "gt.jsonl"
+        save_ground_truth(pairs, path)
+        assert load_ground_truth(path) == pairs
+
+    def test_canonicalizes_on_load(self, tmp_path):
+        path = tmp_path / "gt.jsonl"
+        save_ground_truth([(9, 1)], path)
+        assert load_ground_truth(path) == {(1, 9)}
+
+    def test_empty_file(self, tmp_path):
+        path = tmp_path / "gt.jsonl"
+        save_ground_truth([], path)
+        assert load_ground_truth(path) == set()
+
+
+class TestOracleFor:
+    def test_produces_working_oracle(self):
+        oracle = oracle_for([(1, 2)])
+        a = Profile(eid=1, attributes=(), tokens=frozenset())
+        b = Profile(eid=2, attributes=(), tokens=frozenset())
+        assert oracle.classify(ScoredComparison(Comparison(a, b), 0.0)) is not None

@@ -1,0 +1,136 @@
+"""Tests for the pluggable perturbation model."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datasets.perturbations import (
+    PerturbationProfile,
+    perturb_record,
+    perturb_token,
+    perturb_value,
+)
+from repro.errors import DatasetError
+
+
+class TestPerturbationProfile:
+    def test_defaults_valid(self):
+        PerturbationProfile()
+
+    @pytest.mark.parametrize("field", ["token_drop", "typo", "attribute_drop"])
+    def test_rejects_out_of_range(self, field):
+        with pytest.raises(DatasetError):
+            PerturbationProfile(**{field: 1.5})
+
+    def test_none_profile_is_identity(self):
+        rng = random.Random(1)
+        profile = PerturbationProfile.none()
+        for _ in range(50):
+            assert perturb_value("fibre wood panel", profile, rng) == "fibre wood panel"
+
+    def test_scaled(self):
+        doubled = PerturbationProfile(token_drop=0.1).scaled(2.0)
+        assert doubled.token_drop == pytest.approx(0.2)
+        assert PerturbationProfile(token_drop=0.9).scaled(2.0).token_drop == 1.0
+
+    def test_scaled_rejects_negative(self):
+        with pytest.raises(DatasetError):
+            PerturbationProfile().scaled(-1.0)
+
+
+class TestPerturbToken:
+    def test_drop(self):
+        profile = PerturbationProfile(token_drop=1.0)
+        assert perturb_token("panel", profile, random.Random(1)) is None
+
+    def test_typo_changes_one_char(self):
+        profile = PerturbationProfile(token_drop=0.0, typo=1.0)
+        rng = random.Random(3)
+        out = perturb_token("panel", profile, rng)
+        assert out is not None and len(out) == 5
+        assert sum(a != b for a, b in zip(out, "panel")) <= 1
+
+    def test_spelling_variant(self):
+        profile = PerturbationProfile(
+            token_drop=0.0, typo=0.0, spelling_variant=1.0
+        )
+        assert perturb_token("fibre", profile, random.Random(1)) == "fiber"
+
+    def test_synonym_variant(self):
+        profile = PerturbationProfile(
+            token_drop=0.0, typo=0.0, spelling_variant=0.0, synonym_variant=1.0
+        )
+        out = perturb_token("wood", profile, random.Random(1))
+        assert out in ("timber", "wooden", "lumber", "oak", "pine")
+
+
+class TestPerturbRecord:
+    RECORD = [("title", "glass fibre panel"), ("year", "1999")]
+
+    def test_attribute_drop(self):
+        profile = PerturbationProfile.none()
+        profile = PerturbationProfile(attribute_drop=1.0)
+        out = perturb_record(list(self.RECORD), profile, 0.0, random.Random(1))
+        assert len(out) >= 1  # never fully empty
+
+    def test_rename_scaled_by_heterogeneity(self):
+        profile = PerturbationProfile(
+            token_drop=0.0, typo=0.0, attribute_drop=0.0, attribute_rename=1.0
+        )
+        renamed = perturb_record(list(self.RECORD), profile, 1.0, random.Random(1))
+        assert any(name.endswith("_alt") for name, _ in renamed)
+        unrenamed = perturb_record(list(self.RECORD), profile, 0.0, random.Random(1))
+        assert not any(name.endswith("_alt") for name, _ in unrenamed)
+
+    @settings(max_examples=30, deadline=None)
+    @given(seed=st.integers(0, 10_000))
+    def test_never_produces_empty_record(self, seed):
+        profile = PerturbationProfile(attribute_drop=1.0, token_drop=1.0)
+        out = perturb_record(list(self.RECORD), profile, 1.0, random.Random(seed))
+        assert out
+        assert all(value for _, value in out)
+
+
+class TestSpecIntegration:
+    def test_exact_duplicates_with_none_profile(self):
+        from repro.datasets import DatasetSpec, generate
+
+        spec = DatasetSpec(
+            name="exact", kind="dirty", size=60, matches=40,
+            vocab_rare=1000, perturbations=PerturbationProfile.none(), seed=5,
+        )
+        ds = generate(spec)
+        by_id = {e.eid: e for e in ds.entities}
+        for i, j in list(ds.ground_truth)[:20]:
+            assert by_id[i].values() == by_id[j].values()
+
+    def test_heavier_corruption_lowers_pc(self):
+        from repro.classification import OracleClassifier
+        from repro.core import StreamERConfig, StreamERPipeline
+        from repro.datasets import DatasetSpec, generate
+        from repro.evaluation import pair_completeness
+
+        def pc_for(profile):
+            spec = DatasetSpec(
+                name="x", kind="dirty", size=400, matches=250,
+                vocab_rare=4000, perturbations=profile, seed=6,
+            )
+            ds = generate(spec)
+            pipeline = StreamERPipeline(
+                StreamERConfig(
+                    alpha=StreamERConfig.alpha_for(len(ds), 0.05),
+                    beta=0.05,
+                    classifier=OracleClassifier.from_pairs(ds.ground_truth),
+                ),
+                instrument=False,
+            )
+            result = pipeline.process_many(ds.stream())
+            return pair_completeness(result.match_pairs, ds.ground_truth)
+
+        clean = pc_for(PerturbationProfile.none())
+        heavy = pc_for(PerturbationProfile(token_drop=0.4, typo=0.4))
+        assert clean >= heavy

@@ -1,0 +1,73 @@
+"""Tests for the ASCII chart renderer."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.evaluation import line_chart, sparkline
+
+
+class TestLineChart:
+    def test_empty(self):
+        assert line_chart({}) == "(no data)"
+        assert line_chart({"a": []}) == "(no data)"
+
+    def test_marks_appear_for_each_series(self):
+        chart = line_chart(
+            {"PP": [(8, 1.0), (19, 8.0)], "MPP": [(8, 2.0), (19, 10.0)]}
+        )
+        assert "*" in chart and "o" in chart
+        assert "*=PP" in chart
+        assert "o=MPP" in chart
+
+    def test_axis_labels_present(self):
+        chart = line_chart(
+            {"a": [(0, 0), (10, 5)]}, x_label="processes", y_label="speedup"
+        )
+        assert "processes" in chart
+        assert "speedup" in chart
+        assert "10" in chart  # x max
+        assert "5" in chart   # y max
+
+    def test_single_point(self):
+        chart = line_chart({"a": [(1, 1)]})
+        assert "*" in chart
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(min_value=-1e3, max_value=1e3),
+                st.floats(min_value=-1e3, max_value=1e3),
+            ),
+            min_size=1,
+            max_size=30,
+        )
+    )
+    def test_never_crashes_and_bounded_size(self, points):
+        chart = line_chart({"s": points}, width=40, height=10)
+        lines = chart.splitlines()
+        assert len(lines) <= 15
+        assert all(len(line) <= 40 + 20 for line in lines)
+
+
+class TestSparkline:
+    def test_empty(self):
+        assert sparkline([]) == ""
+
+    def test_constant_series(self):
+        assert sparkline([5, 5, 5]) == "▁▁▁"
+
+    def test_rising_series_rises(self):
+        spark = sparkline([1, 2, 3, 4, 5, 6, 7, 8])
+        assert spark[0] == "▁"
+        assert spark[-1] == "█"
+
+    def test_downsampling(self):
+        spark = sparkline(list(range(100)), width=10)
+        assert len(spark) == 10
+
+    @given(st.lists(st.floats(min_value=0, max_value=1e6), min_size=1, max_size=50))
+    def test_length_matches_input(self, values):
+        assert len(sparkline(values)) == len(values)

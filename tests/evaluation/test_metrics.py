@@ -1,0 +1,121 @@
+"""Tests for the evaluation metrics."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.evaluation import (
+    LatencySummary,
+    pair_completeness,
+    pairs_quality,
+    precision_recall_f1,
+    reduction_ratio,
+    speedup,
+    throughput_series,
+)
+
+pairs = st.sets(
+    st.tuples(st.integers(0, 20), st.integers(0, 20)).filter(lambda p: p[0] != p[1]),
+    max_size=15,
+)
+
+
+class TestPairCompleteness:
+    def test_full_coverage(self):
+        assert pair_completeness([(1, 2)], [(2, 1)]) == 1.0
+
+    def test_partial(self):
+        assert pair_completeness([(1, 2)], [(1, 2), (3, 4)]) == 0.5
+
+    def test_empty_truth_is_one(self):
+        assert pair_completeness([(1, 2)], []) == 1.0
+
+    def test_empty_candidates(self):
+        assert pair_completeness([], [(1, 2)]) == 0.0
+
+    @given(pairs, pairs)
+    def test_bounded(self, candidates, truth):
+        assert 0.0 <= pair_completeness(candidates, truth) <= 1.0
+
+
+class TestPairsQuality:
+    def test_precision_of_candidates(self):
+        assert pairs_quality([(1, 2), (3, 4)], [(1, 2)]) == 0.5
+
+    def test_empty_candidates_is_one(self):
+        assert pairs_quality([], [(1, 2)]) == 1.0
+
+
+class TestReductionRatio:
+    def test_dirty(self):
+        assert reduction_ratio(45, 10) == 0.0  # 45 = all pairs of 10
+        assert reduction_ratio(0, 10) == 1.0
+
+    def test_clean_clean(self):
+        assert reduction_ratio(50, 0, clean_clean_sizes=(10, 10)) == 0.5
+
+    def test_degenerate(self):
+        assert reduction_ratio(0, 1) == 0.0
+
+
+class TestPrecisionRecallF1:
+    def test_perfect(self):
+        assert precision_recall_f1([(1, 2)], [(1, 2)]) == (1.0, 1.0, 1.0)
+
+    def test_mixed(self):
+        p, r, f1 = precision_recall_f1([(1, 2), (3, 4)], [(1, 2), (5, 6)])
+        assert p == 0.5 and r == 0.5 and f1 == pytest.approx(0.5)
+
+    def test_both_empty(self):
+        assert precision_recall_f1([], []) == (1.0, 1.0, 1.0)
+
+    def test_zero_f1(self):
+        p, r, f1 = precision_recall_f1([(1, 2)], [(3, 4)])
+        assert f1 == 0.0
+
+
+class TestSpeedup:
+    def test_ratio(self):
+        assert speedup(100.0, 10.0) == 10.0
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValueError):
+            speedup(10.0, 0.0)
+
+
+class TestLatencySummary:
+    def test_from_samples(self):
+        summary = LatencySummary.from_samples([0.1 * i for i in range(1, 101)])
+        assert summary.count == 100
+        assert summary.mean == pytest.approx(5.05)
+        assert summary.p50 == pytest.approx(5.1)
+        assert summary.maximum == pytest.approx(10.0)
+        assert summary.p95 <= summary.p99 <= summary.maximum
+
+    def test_empty(self):
+        summary = LatencySummary.from_samples([])
+        assert summary.count == 0
+        assert summary.maximum == 0.0
+
+
+class TestThroughputSeries:
+    def test_counts_per_window(self):
+        series = throughput_series([0.1, 0.2, 0.3, 1.1, 1.2], window=1.0)
+        assert len(series) == 2
+        assert series[0][1] == pytest.approx(3.0)
+        assert series[1][1] == pytest.approx(2.0)
+
+    def test_empty(self):
+        assert throughput_series([]) == []
+
+    def test_window_scaling(self):
+        series = throughput_series([0.0, 0.1, 0.2, 0.3], window=0.5)
+        assert series[0][1] == pytest.approx(8.0)  # 4 completions / 0.5 s
+
+    @given(st.lists(st.floats(min_value=0, max_value=100), min_size=1, max_size=50))
+    def test_total_completions_conserved(self, times):
+        series = throughput_series(times, window=1.0)
+        total = sum(rate * 1.0 for _, rate in series)
+        assert total == pytest.approx(len(times))

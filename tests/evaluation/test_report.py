@@ -1,0 +1,58 @@
+"""Tests for the reporting helpers."""
+
+from __future__ import annotations
+
+from repro.evaluation import format_table, scientific
+
+
+class TestFormatTable:
+    def test_renders_header_and_rows(self):
+        text = format_table([{"a": 1, "b": "x"}, {"a": 22, "b": "yy"}])
+        lines = text.splitlines()
+        assert lines[0].split() == ["a", "b"]
+        assert "22" in lines[3]
+
+    def test_explicit_column_order(self):
+        text = format_table([{"a": 1, "b": 2}], columns=["b", "a"])
+        assert text.splitlines()[0].split() == ["b", "a"]
+
+    def test_missing_cells_blank(self):
+        text = format_table([{"a": 1}, {"b": 2}], columns=["a", "b"])
+        assert "2" in text
+
+    def test_empty(self):
+        assert format_table([]) == "(no rows)"
+
+    def test_float_formatting(self):
+        text = format_table([{"v": 123456.0}, {"v": 0.25}, {"v": 0.0}])
+        assert "1.23E+05" in text
+        assert "0.25" in text
+
+
+class TestScientific:
+    def test_table_iii_style(self):
+        assert scientific(2680) == "2.68E+03"
+        assert scientific(1.15e7) == "1.15E+07"
+
+
+class TestPrintSection:
+    def test_string_body(self, capsys):
+        from repro.evaluation import print_section
+
+        print_section("Title", "body text")
+        out = capsys.readouterr().out
+        assert "=== Title ===" in out
+        assert "body text" in out
+
+    def test_iterable_body(self, capsys):
+        from repro.evaluation import print_section
+
+        print_section("T", ["line1", "line2"])
+        out = capsys.readouterr().out
+        assert "line1" in out and "line2" in out
+
+    def test_empty_body(self, capsys):
+        from repro.evaluation import print_section
+
+        print_section("T")
+        assert "=== T ===" in capsys.readouterr().out

@@ -1,0 +1,58 @@
+"""Tests for the incremental comparison harness (Figure 10 machinery)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.classification import OracleClassifier
+from repro.incremental import APPROACHES, run_incremental_comparison
+
+
+@pytest.fixture(scope="module")
+def runs(request):
+    return None
+
+
+class TestRunIncrementalComparison:
+    def test_all_approaches_run(self, tiny_dirty_dataset):
+        ds = tiny_dirty_dataset
+        oracle = OracleClassifier.from_pairs(ds.ground_truth)
+        runs = run_incremental_comparison(ds, 3, oracle)
+        assert [r.approach for r in runs] == list(APPROACHES)
+        for run in runs:
+            assert run.n_increments == 3
+            assert len(run.per_increment_seconds) == 3
+            assert run.total_seconds == pytest.approx(
+                sum(run.per_increment_seconds)
+            )
+
+    def test_no_bc_variants_find_at_least_as_many_matches(self, tiny_dirty_dataset):
+        ds = tiny_dirty_dataset
+        oracle = OracleClassifier.from_pairs(ds.ground_truth)
+        runs = {r.approach: r for r in run_incremental_comparison(ds, 3, oracle)}
+        assert (
+            runs["I-WNP (No BC)"].pair_completeness
+            >= runs["I-WNP"].pair_completeness
+        )
+
+    def test_subset_of_approaches(self, tiny_dirty_dataset):
+        ds = tiny_dirty_dataset
+        oracle = OracleClassifier.from_pairs(ds.ground_truth)
+        runs = run_incremental_comparison(ds, 2, oracle, approaches=("I-WNP",))
+        assert len(runs) == 1
+
+    def test_unknown_approach_rejected(self, tiny_dirty_dataset):
+        oracle = OracleClassifier.from_pairs(tiny_dirty_dataset.ground_truth)
+        with pytest.raises(ValueError):
+            run_incremental_comparison(
+                tiny_dirty_dataset, 2, oracle, approaches=("nope",)
+            )
+
+    def test_clean_clean_dataset(self, tiny_clean_dataset):
+        ds = tiny_clean_dataset
+        oracle = OracleClassifier.from_pairs(ds.ground_truth)
+        runs = run_incremental_comparison(
+            ds, 2, oracle, approaches=("I-WNP", "PI-Block")
+        )
+        for run in runs:
+            assert 0.0 <= run.pair_completeness <= 1.0

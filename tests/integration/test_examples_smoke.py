@@ -1,0 +1,29 @@
+"""Smoke test: the quickstart example runs and finds the paper's matches."""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+from pathlib import Path
+
+EXAMPLES = Path(__file__).resolve().parents[2] / "examples"
+
+
+def test_quickstart_runs_and_reports_matches():
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES / "quickstart.py")],
+        capture_output=True,
+        text=True,
+        timeout=120,
+    )
+    assert proc.returncode == 0, proc.stderr
+    assert "('e1', 'e3')" in proc.stdout  # the paper's match
+    assert "('e2', 'e4')" in proc.stdout
+    assert "blocks pruned" in proc.stdout
+
+
+def test_all_examples_are_syntactically_valid():
+    import py_compile
+
+    for path in sorted(EXAMPLES.glob("*.py")):
+        py_compile.compile(str(path), doraise=True)

@@ -1,0 +1,52 @@
+"""Property-based fuzz: the thread framework agrees with SEQ on any input."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.classification import ThresholdClassifier
+from repro.core import StreamERConfig, StreamERPipeline
+from repro.parallel import ParallelERPipeline
+from repro.types import EntityDescription
+
+tokens = st.sampled_from(
+    ["glass", "panel", "wood", "fibre", "roof", "window", "door", "steel",
+     "lamp", "chair"]
+)
+values = st.lists(tokens, min_size=1, max_size=5).map(" ".join)
+attributes = st.dictionaries(
+    st.sampled_from(["title", "material", "part"]), values, min_size=1, max_size=3
+)
+
+
+@st.composite
+def entity_batches(draw):
+    n = draw(st.integers(min_value=0, max_value=25))
+    return [EntityDescription.create(i, draw(attributes)) for i in range(n)]
+
+
+@given(
+    entities=entity_batches(),
+    alpha=st.sampled_from([3, 8, 1000]),
+    beta=st.sampled_from([0.1, 0.6]),
+    processes=st.sampled_from([8, 12]),
+    batch=st.sampled_from([1, 7]),
+)
+@settings(max_examples=20, deadline=None)
+def test_parallel_framework_matches_sequential(entities, alpha, beta, processes, batch):
+    def config():
+        return StreamERConfig(
+            alpha=alpha, beta=beta, classifier=ThresholdClassifier(0.4)
+        )
+
+    sequential = StreamERPipeline(config(), instrument=False)
+    sequential.process_many(entities)
+
+    parallel = ParallelERPipeline(
+        config(), processes=processes, micro_batch_size=batch
+    )
+    result = parallel.run(entities)
+
+    assert result.match_pairs == sequential.cl.matches.pairs()
+    assert result.entities_processed == len(entities)

@@ -1,0 +1,131 @@
+"""Failure injection and adversarial inputs across the pipeline."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.classification import ThresholdClassifier
+from repro.core import StreamERConfig, StreamERPipeline
+from repro.types import Comparison, EntityDescription, Profile, ScoredComparison
+
+
+def pipeline(threshold=0.5, **kwargs):
+    defaults = dict(alpha=50, beta=0.1, classifier=ThresholdClassifier(threshold))
+    defaults.update(kwargs)
+    return StreamERPipeline(StreamERConfig(**defaults), instrument=False)
+
+
+class TestDegenerateEntities:
+    def test_entity_without_attributes(self):
+        p = pipeline()
+        assert p.process(EntityDescription.create(1, {})) == []
+        assert p.entities_processed == 1
+
+    def test_entity_with_empty_values(self):
+        p = pipeline()
+        p.process(EntityDescription.create(1, {"a": "", "b": "   "}))
+        assert len(p.state.blocks) == 0
+
+    def test_entity_with_only_stopwords(self):
+        p = pipeline()
+        p.process(EntityDescription.create(1, {"a": "the and of"}))
+        assert len(p.state.blocks) == 0
+
+    def test_unicode_values(self):
+        p = pipeline(threshold=0.3)
+        p.process(EntityDescription.create(1, {"名前": "日本語 LAMP vintage"}))
+        matches = p.process(EntityDescription.create(2, {"name": "lamp vintage"}))
+        # ASCII-token overlap still matches despite unicode noise.
+        assert matches
+
+    def test_very_long_value(self):
+        p = pipeline()
+        huge = " ".join(f"tok{i}" for i in range(5_000))
+        p.process(EntityDescription.create(1, {"a": huge}))
+        assert len(p.state.blocks) == 5_000
+
+    def test_duplicate_eid_processed_like_new_entity(self):
+        """The framework keys blocks by id; re-sent ids do not crash."""
+        p = pipeline(threshold=0.9)
+        e = EntityDescription.create(1, {"a": "alpha beta gamma"})
+        p.process(e)
+        matches = p.process(e)
+        # Self-comparisons are skipped, so re-processing yields no match.
+        assert matches == []
+
+    def test_numeric_and_mixed_tokens(self):
+        p = pipeline(threshold=0.3)
+        p.process(EntityDescription.create(1, {"model": "XJ-9000 rev 2"}))
+        matches = p.process(EntityDescription.create(2, {"part": "xj 9000 rev2"}))
+        assert isinstance(matches, list)  # tokenization differences tolerated
+
+
+class TestAdversarialBlockStructures:
+    def test_every_entity_shares_one_token(self):
+        """A universal token must be pruned, not explode comparisons."""
+        p = pipeline(alpha=10, threshold=0.99)
+        for i in range(100):
+            p.process(
+                EntityDescription.create(i, {"a": f"universal unique{i}"})
+            )
+        assert "universal" in p.bb.blacklist
+        # After pruning, comparisons stay near zero (unique tokens only).
+        assert p.cg.generated < 10 * 100
+
+    def test_all_entities_identical(self):
+        p = pipeline(alpha=1000, threshold=0.5)
+        for i in range(30):
+            p.process(EntityDescription.create(i, {"a": "same exact text"}))
+        # Every pair is a match: 30·29/2.
+        assert len(p.cl.matches) == 435
+
+    def test_alpha_two_prunes_everything(self):
+        p = pipeline(alpha=2, threshold=0.01)
+        for i in range(20):
+            p.process(EntityDescription.create(i, {"a": "shared words here"}))
+        assert len(p.cl.matches) == 0  # nothing survives blocking
+
+
+class TestClassifierContract:
+    def test_custom_classifier_returning_none_is_safe(self):
+        class NeverMatch:
+            def classify(self, scored: ScoredComparison):
+                return None
+
+        p = pipeline(classifier=NeverMatch())
+        for i in range(5):
+            p.process(EntityDescription.create(i, {"a": "same text"}))
+        assert len(p.cl.matches) == 0
+
+    def test_custom_comparator_contract(self):
+        class ConstantComparator:
+            def compare(self, comparison: Comparison) -> ScoredComparison:
+                return ScoredComparison(comparison=comparison, similarity=0.42)
+
+        p = pipeline(threshold=0.4, comparator=ConstantComparator())
+        p.process(EntityDescription.create(1, {"a": "alpha beta"}))
+        matches = p.process(EntityDescription.create(2, {"a": "alpha beta"}))
+        assert matches and matches[0].similarity == 0.42
+
+
+class TestStateConsistencyInvariants:
+    def test_profiles_cover_all_processed_entities(self, tiny_dirty_dataset):
+        ds = tiny_dirty_dataset
+        p = pipeline(threshold=0.9, alpha=StreamERConfig.alpha_for(len(ds), 0.05))
+        p.process_many(ds.stream())
+        assert len(p.state.profiles) == len(ds)
+
+    def test_blacklisted_keys_never_in_blocks(self, tiny_dirty_dataset):
+        ds = tiny_dirty_dataset
+        p = pipeline(threshold=0.9, alpha=5)
+        p.process_many(ds.stream())
+        for key in p.state.blacklist.keys:
+            assert key not in p.state.blocks
+
+    def test_match_pairs_are_processed_entities(self, tiny_dirty_dataset):
+        ds = tiny_dirty_dataset
+        p = pipeline(threshold=0.5, alpha=StreamERConfig.alpha_for(len(ds), 0.05))
+        p.process_many(ds.stream())
+        ids = {e.eid for e in ds.entities}
+        for i, j in p.state.matches.pairs():
+            assert i in ids and j in ids

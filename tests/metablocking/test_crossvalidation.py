@@ -1,0 +1,128 @@
+"""Cross-validation of meta-blocking against an independent implementation.
+
+Weights and pruning are recomputed from scratch with networkx and plain
+set arithmetic; our graph/weighting/pruning modules must agree exactly.
+This guards the subtle parts (redundancy handling, per-node thresholds,
+reciprocal semantics) against silent drift.
+"""
+
+from __future__ import annotations
+
+import math
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.metablocking import (
+    build_blocking_graph,
+    cbs_weights,
+    ecbs_weights,
+    js_weights,
+    rwnp,
+    wep,
+    wnp,
+)
+from repro.types import pair_key
+
+blocks_strategy = st.dictionaries(
+    st.text(alphabet="abcdefgh", min_size=1, max_size=2),
+    st.lists(st.integers(min_value=0, max_value=12), min_size=2, max_size=7, unique=True),
+    min_size=1,
+    max_size=8,
+)
+
+
+def reference_graph(blocks):
+    """Independent blocking-graph construction via networkx."""
+    g = nx.Graph()
+    entity_blocks: dict[int, int] = {}
+    for members in blocks.values():
+        for eid in members:
+            entity_blocks[eid] = entity_blocks.get(eid, 0) + 1
+        for a in range(len(members)):
+            for b in range(a + 1, len(members)):
+                i, j = members[a], members[b]
+                if g.has_edge(i, j):
+                    g[i][j]["cbs"] += 1
+                else:
+                    g.add_edge(i, j, cbs=1)
+    return g, entity_blocks
+
+
+@settings(max_examples=40, deadline=None)
+@given(blocks=blocks_strategy)
+def test_cbs_agrees_with_networkx(blocks):
+    ours = cbs_weights(build_blocking_graph(blocks))
+    reference, _ = reference_graph(blocks)
+    assert len(ours) == reference.number_of_edges()
+    for i, j, data in reference.edges(data=True):
+        assert ours[pair_key(i, j)] == data["cbs"]
+
+
+@settings(max_examples=40, deadline=None)
+@given(blocks=blocks_strategy)
+def test_js_agrees_with_direct_formula(blocks):
+    graph = build_blocking_graph(blocks)
+    ours = js_weights(graph)
+    reference, entity_blocks = reference_graph(blocks)
+    for i, j, data in reference.edges(data=True):
+        common = data["cbs"]
+        union = entity_blocks[i] + entity_blocks[j] - common
+        assert ours[pair_key(i, j)] == pytest.approx(common / union)
+
+
+@settings(max_examples=40, deadline=None)
+@given(blocks=blocks_strategy)
+def test_ecbs_agrees_with_direct_formula(blocks):
+    graph = build_blocking_graph(blocks)
+    ours = ecbs_weights(graph)
+    reference, entity_blocks = reference_graph(blocks)
+    n_blocks = len(blocks)
+    for i, j, data in reference.edges(data=True):
+        expected = (
+            data["cbs"]
+            * math.log(n_blocks / entity_blocks[i])
+            * math.log(n_blocks / entity_blocks[j])
+        )
+        assert ours[pair_key(i, j)] == pytest.approx(expected)
+
+
+@settings(max_examples=40, deadline=None)
+@given(blocks=blocks_strategy)
+def test_wep_agrees_with_direct_average(blocks):
+    graph = build_blocking_graph(blocks)
+    weights = cbs_weights(graph)
+    ours = set(wep(graph, weights))
+    threshold = sum(weights.values()) / len(weights)
+    expected = {pair for pair, w in weights.items() if w >= threshold}
+    assert ours == expected
+
+
+@settings(max_examples=40, deadline=None)
+@given(blocks=blocks_strategy)
+def test_wnp_and_rwnp_agree_with_networkx_neighborhoods(blocks):
+    graph = build_blocking_graph(blocks)
+    weights = cbs_weights(graph)
+    reference, _ = reference_graph(blocks)
+
+    thresholds = {}
+    for node in reference.nodes:
+        adjacent = [weights[pair_key(node, nbr)] for nbr in reference.neighbors(node)]
+        thresholds[node] = sum(adjacent) / len(adjacent)
+
+    expected_wnp = {
+        pair_key(i, j)
+        for i, j in reference.edges
+        if weights[pair_key(i, j)] >= thresholds[i]
+        or weights[pair_key(i, j)] >= thresholds[j]
+    }
+    expected_rwnp = {
+        pair_key(i, j)
+        for i, j in reference.edges
+        if weights[pair_key(i, j)] >= thresholds[i]
+        and weights[pair_key(i, j)] >= thresholds[j]
+    }
+    assert set(wnp(graph, weights)) == expected_wnp
+    assert set(rwnp(graph, weights)) == expected_rwnp

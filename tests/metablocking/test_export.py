@@ -1,0 +1,49 @@
+"""Tests for the networkx export."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.metablocking import build_blocking_graph, js_weights
+from repro.metablocking.export import graph_diagnostics, to_networkx
+
+BLOCKS = {"a": [1, 2], "b": [1, 2, 3], "c": [3, 4]}
+
+
+class TestToNetworkx:
+    def test_edges_and_weights(self):
+        graph = build_blocking_graph(BLOCKS)
+        g = to_networkx(graph)
+        assert g.number_of_edges() == graph.num_edges
+        assert g[1][2]["weight"] == 2.0  # CBS default
+
+    def test_custom_weighting(self):
+        graph = build_blocking_graph(BLOCKS)
+        g = to_networkx(graph, js_weights(graph))
+        assert 0.0 < g[1][2]["weight"] <= 1.0
+
+    def test_empty(self):
+        g = to_networkx(build_blocking_graph({}))
+        assert g.number_of_nodes() == 0
+
+
+class TestDiagnostics:
+    def test_component_structure(self):
+        # {1,2,3} connected via blocks a/b; {3,4} links 4 in too.
+        stats = graph_diagnostics(build_blocking_graph(BLOCKS))
+        assert stats["nodes"] == 4
+        assert stats["components"] == 1
+        assert stats["largest_component"] == 4
+
+    def test_disconnected_components(self):
+        blocks = {"a": [1, 2], "z": [10, 11]}
+        stats = graph_diagnostics(build_blocking_graph(blocks))
+        assert stats["components"] == 2
+
+    def test_empty(self):
+        stats = graph_diagnostics(build_blocking_graph({}))
+        assert stats["nodes"] == 0
+
+    def test_avg_degree(self):
+        stats = graph_diagnostics(build_blocking_graph({"a": [1, 2]}))
+        assert stats["avg_degree"] == pytest.approx(1.0)

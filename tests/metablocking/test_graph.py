@@ -1,0 +1,58 @@
+"""Unit tests for blocking-graph construction."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.metablocking import build_blocking_graph
+
+
+class TestBuildBlockingGraph:
+    def test_edges_count_common_blocks(self):
+        blocks = {"a": [1, 2], "b": [1, 2, 3]}
+        graph = build_blocking_graph(blocks)
+        assert graph.cbs[(1, 2)] == 2
+        assert graph.cbs[(1, 3)] == 1
+        assert graph.cbs[(2, 3)] == 1
+
+    def test_deduplicates_redundant_comparisons(self):
+        blocks = {"a": [1, 2], "b": [1, 2], "c": [1, 2]}
+        graph = build_blocking_graph(blocks)
+        assert graph.num_edges == 1  # one edge, weight 3
+
+    def test_arcs_accumulates_reciprocal_cardinality(self):
+        blocks = {"a": [1, 2], "b": [1, 2, 3]}
+        graph = build_blocking_graph(blocks)
+        # block a: ||b||=1 → 1.0; block b: ||b||=3 → 1/3
+        assert graph.arcs[(1, 2)] == pytest.approx(1.0 + 1 / 3)
+
+    def test_entity_block_counts(self):
+        blocks = {"a": [1, 2], "b": [1, 3]}
+        graph = build_blocking_graph(blocks)
+        assert graph.entity_blocks == {1: 2, 2: 1, 3: 1}
+        assert graph.num_blocks == 2
+        assert graph.total_assignments == 4
+
+    def test_clean_clean_skips_same_source_edges(self):
+        blocks = {"a": [("x", 1), ("x", 2), ("y", 1)]}
+        graph = build_blocking_graph(blocks, clean_clean=True)
+        assert set(graph.cbs) == {
+            (("x", 1), ("y", 1)),
+            (("x", 2), ("y", 1)),
+        }
+
+    def test_degrees(self):
+        blocks = {"a": [1, 2, 3]}
+        graph = build_blocking_graph(blocks)
+        assert graph.degrees() == {1: 2, 2: 2, 3: 2}
+
+    def test_neighbors_adjacency(self):
+        blocks = {"a": [1, 2], "b": [2, 3]}
+        graph = build_blocking_graph(blocks)
+        adjacency = graph.neighbors()
+        assert {other for other, _ in adjacency[2]} == {1, 3}
+
+    def test_empty_blocks(self):
+        graph = build_blocking_graph({})
+        assert graph.num_edges == 0
+        assert graph.num_entities == 0

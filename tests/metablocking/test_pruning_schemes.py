@@ -1,0 +1,123 @@
+"""Unit tests for the six meta-blocking pruning schemes."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.metablocking import (
+    PRUNING_SCHEMES,
+    build_blocking_graph,
+    cbs_weights,
+    cep,
+    cnp,
+    get_pruning_scheme,
+    rcnp,
+    rwnp,
+    wep,
+    wnp,
+)
+
+BLOCKS = {
+    "a": [1, 2],
+    "b": [1, 2, 3],
+    "c": [2, 3],
+    "d": [3, 4],
+}
+# CBS: (1,2)=2, (1,3)=1, (2,3)=2, (3,4)=1
+
+
+@pytest.fixture()
+def graph():
+    return build_blocking_graph(BLOCKS)
+
+
+@pytest.fixture()
+def weights(graph):
+    return cbs_weights(graph)
+
+
+class TestWEP:
+    def test_global_average_threshold(self, graph, weights):
+        kept = wep(graph, weights)
+        # avg = (2+1+2+1)/4 = 1.5 → keep the two weight-2 edges
+        assert set(kept) == {(1, 2), (2, 3)}
+
+    def test_empty_graph(self):
+        empty = build_blocking_graph({})
+        assert wep(empty, {}) == {}
+
+
+class TestWNP:
+    def test_either_endpoint_suffices(self, graph, weights):
+        kept = wnp(graph, weights)
+        # thresholds: 1→1.5, 2→2.0, 3→(1+2+1)/3≈1.33, 4→1.0
+        # (1,2): 2 ≥ 1.5 ✓;  (1,3): 1 < 1.5 and 1 < 1.33 ✗
+        # (2,3): 2 ≥ 2.0 ✓;  (3,4): 1 < 1.33 but 1 ≥ 1.0 (node 4) ✓
+        assert set(kept) == {(1, 2), (2, 3), (3, 4)}
+
+    def test_reciprocal_is_stricter(self, graph, weights):
+        assert set(rwnp(graph, weights)) <= set(wnp(graph, weights))
+
+    def test_rwnp_needs_both(self, graph, weights):
+        kept = rwnp(graph, weights)
+        assert (3, 4) not in kept  # fails node 3's threshold
+        assert (1, 2) in kept
+
+
+class TestCEP:
+    def test_keeps_top_half_of_assignments(self, graph, weights):
+        kept = cep(graph, weights)
+        # total assignments = 2+3+2+2 = 9 → k = 4 → all 4 edges retained
+        assert len(kept) == 4
+
+    def test_truncates_to_k(self):
+        blocks = {"a": [1, 2]}  # assignments 2 → k = 1
+        graph = build_blocking_graph(blocks)
+        kept = cep(graph, cbs_weights(graph))
+        assert len(kept) == 1
+
+    def test_deterministic_tie_break(self, graph, weights):
+        assert cep(graph, weights) == cep(graph, dict(weights))
+
+
+class TestCNP:
+    def test_top_k_per_node(self, graph, weights):
+        kept = cnp(graph, weights)
+        # k = max(1, 9 // 4) = 2 → every node keeps its 2 best edges.
+        assert (1, 2) in kept
+        assert (2, 3) in kept
+
+    def test_reciprocal_is_stricter(self, graph, weights):
+        assert set(rcnp(graph, weights)) <= set(cnp(graph, weights))
+
+
+class TestRegistry:
+    def test_all_schemes_present(self):
+        assert set(PRUNING_SCHEMES) == {"WEP", "WNP", "RWNP", "CEP", "CNP", "RCNP"}
+
+    def test_lookup_case_insensitive(self):
+        assert get_pruning_scheme("wnp") is wnp
+
+    def test_unknown(self):
+        with pytest.raises(KeyError, match="unknown pruning"):
+            get_pruning_scheme("XYZ")
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    st.dictionaries(
+        st.text(min_size=1, max_size=2),
+        st.lists(st.integers(min_value=0, max_value=10), min_size=2, max_size=6, unique=True),
+        min_size=1, max_size=6,
+    )
+)
+def test_every_scheme_returns_subset_with_same_weights(blocks):
+    graph = build_blocking_graph(blocks)
+    weights = cbs_weights(graph)
+    for scheme in PRUNING_SCHEMES.values():
+        kept = scheme(graph, weights)
+        assert set(kept) <= set(weights)
+        for pair, w in kept.items():
+            assert w == weights[pair]

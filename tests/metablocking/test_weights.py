@@ -1,0 +1,94 @@
+"""Unit tests for the five meta-blocking weighting schemes."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.metablocking import (
+    WEIGHTING_SCHEMES,
+    arcs_weights,
+    build_blocking_graph,
+    cbs_weights,
+    ecbs_weights,
+    ejs_weights,
+    get_weighting_scheme,
+    js_weights,
+)
+
+BLOCKS = {
+    "a": [1, 2],
+    "b": [1, 2, 3],
+    "c": [2, 3],
+}
+
+
+@pytest.fixture()
+def graph():
+    return build_blocking_graph(BLOCKS)
+
+
+class TestCBS:
+    def test_counts(self, graph):
+        weights = cbs_weights(graph)
+        assert weights[(1, 2)] == 2.0
+        assert weights[(2, 3)] == 2.0
+        assert weights[(1, 3)] == 1.0
+
+
+class TestECBS:
+    def test_formula(self, graph):
+        weights = ecbs_weights(graph)
+        # |B|=3; |B_1|=2, |B_2|=3 → log(3/2)·log(3/3)=0 ⇒ weight 0 for (1,2)
+        assert weights[(1, 2)] == pytest.approx(2 * math.log(3 / 2) * math.log(1))
+        assert weights[(1, 3)] == pytest.approx(
+            1 * math.log(3 / 2) * math.log(3 / 2)
+        )
+
+
+class TestJS:
+    def test_formula(self, graph):
+        weights = js_weights(graph)
+        # (1,2): common=2, |B_1|=2, |B_2|=3 → 2/(2+3-2)
+        assert weights[(1, 2)] == pytest.approx(2 / 3)
+        # (1,3): common=1, |B_1|=2, |B_3|=2 → 1/(2+2-1)
+        assert weights[(1, 3)] == pytest.approx(1 / 3)
+
+    def test_bounded_by_one(self, graph):
+        assert all(0 <= w <= 1 for w in js_weights(graph).values())
+
+
+class TestARCS:
+    def test_formula(self, graph):
+        weights = arcs_weights(graph)
+        # (1,2): block a (||b||=1) + block b (||b||=3) → 1 + 1/3
+        assert weights[(1, 2)] == pytest.approx(4 / 3)
+        # (1,3): only block b → 1/3
+        assert weights[(1, 3)] == pytest.approx(1 / 3)
+
+
+class TestEJS:
+    def test_dampens_high_degree_nodes(self, graph):
+        js = js_weights(graph)
+        ejs = ejs_weights(graph)
+        # 3 edges, all degrees 2 → factor log(3/2)² on every edge
+        factor = math.log(3 / 2) ** 2
+        for pair in js:
+            assert ejs[pair] == pytest.approx(js[pair] * factor)
+
+
+class TestRegistry:
+    def test_all_schemes_present(self):
+        assert set(WEIGHTING_SCHEMES) == {"CBS", "ECBS", "JS", "ARCS", "EJS"}
+
+    def test_lookup_case_insensitive(self):
+        assert get_weighting_scheme("cbs") is cbs_weights
+
+    def test_unknown_scheme(self):
+        with pytest.raises(KeyError, match="unknown weighting"):
+            get_weighting_scheme("nope")
+
+    def test_every_scheme_covers_every_edge(self, graph):
+        for scheme in WEIGHTING_SCHEMES.values():
+            assert set(scheme(graph)) == set(graph.cbs)

@@ -1,0 +1,63 @@
+"""Unit tests for the process-allocation solver."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.stages import STAGE_ORDER
+from repro.errors import ConfigurationError
+from repro.parallel import (
+    FIXED_STAGES,
+    allocate_processes,
+    bottleneck_time,
+    paper_example_times,
+)
+
+
+class TestAllocateProcesses:
+    def test_minimum_is_one_each(self):
+        allocation = allocate_processes(paper_example_times(), 8)
+        assert all(v == 1 for v in allocation.values())
+
+    def test_paper_example_p15(self):
+        """§IV-B: with P=15 the paper sets v=1, x=3, y=6, z=1."""
+        allocation = allocate_processes(paper_example_times(), 15)
+        assert allocation["cc"] == 3   # x
+        assert allocation["co"] == 6   # y
+        assert allocation["cg"] == 1   # z
+        assert allocation["lm"] == 1 and allocation["cl"] == 1  # v
+
+    def test_total_matches_request(self):
+        for total in (8, 12, 19, 25):
+            allocation = allocate_processes(paper_example_times(), total)
+            assert sum(allocation.values()) == total
+
+    def test_fixed_stages_never_replicated(self):
+        allocation = allocate_processes(paper_example_times(), 60)
+        for stage in FIXED_STAGES:
+            assert allocation[stage] == 1
+
+    def test_cheap_stages_stay_single_under_paper_times(self):
+        """Under the paper's measured times, dr and bg never get a second
+        process before the bottlenecks saturate — the paper's P=3+2v+x+y+z."""
+        allocation = allocate_processes(paper_example_times(), 15)
+        assert allocation["dr"] == 1
+        assert allocation["bg"] == 1
+
+    def test_rejects_too_few_processes(self):
+        with pytest.raises(ConfigurationError):
+            allocate_processes(paper_example_times(), 7)
+
+    def test_rejects_missing_stage_times(self):
+        with pytest.raises(ConfigurationError, match="missing"):
+            allocate_processes({"dr": 1.0}, 10)
+
+    def test_extra_processes_reduce_bottleneck(self):
+        times = paper_example_times()
+        small = bottleneck_time(times, allocate_processes(times, 8))
+        large = bottleneck_time(times, allocate_processes(times, 20))
+        assert large < small
+
+    def test_all_stages_present(self):
+        allocation = allocate_processes(paper_example_times(), 10)
+        assert set(allocation) == set(STAGE_ORDER)

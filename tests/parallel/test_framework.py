@@ -1,0 +1,85 @@
+"""Tests for the thread-based parallel framework."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.classification import OracleClassifier, ThresholdClassifier
+from repro.core import StreamERConfig, StreamERPipeline
+from repro.errors import PipelineStoppedError
+from repro.parallel import ParallelERPipeline
+
+
+def config_for(dataset, threshold=None):
+    classifier = (
+        ThresholdClassifier(threshold)
+        if threshold is not None
+        else OracleClassifier.from_pairs(dataset.ground_truth)
+    )
+    return StreamERConfig(
+        alpha=StreamERConfig.alpha_for(len(dataset), 0.05),
+        beta=0.05,
+        clean_clean=dataset.clean_clean,
+        classifier=classifier,
+    )
+
+
+class TestParallelCorrectness:
+    def test_same_matches_as_sequential(self, tiny_dirty_dataset):
+        ds = tiny_dirty_dataset
+        sequential = StreamERPipeline(config_for(ds), instrument=False)
+        sequential.process_many(ds.stream())
+        parallel = ParallelERPipeline(config_for(ds), processes=8)
+        result = parallel.run(ds.stream())
+        assert result.match_pairs == sequential.cl.matches.pairs()
+
+    def test_micro_batched_variant_same_matches(self, tiny_dirty_dataset):
+        ds = tiny_dirty_dataset
+        sequential = StreamERPipeline(config_for(ds), instrument=False)
+        sequential.process_many(ds.stream())
+        mpp = ParallelERPipeline(
+            config_for(ds), processes=12, micro_batch_size=50
+        )
+        result = mpp.run(ds.stream())
+        assert result.match_pairs == sequential.cl.matches.pairs()
+
+    def test_clean_clean_parallel(self, tiny_clean_dataset):
+        ds = tiny_clean_dataset
+        parallel = ParallelERPipeline(config_for(ds), processes=9)
+        result = parallel.run(ds.stream())
+        for i, j in result.match_pairs:
+            assert i[0] != j[0]
+
+    def test_replicated_stages_with_many_processes(self, tiny_dirty_dataset):
+        ds = tiny_dirty_dataset
+        parallel = ParallelERPipeline(config_for(ds), processes=16)
+        assert parallel.allocation["co"] > 1  # actually replicated
+        result = parallel.run(ds.stream())
+        assert result.entities_processed == len(ds)
+
+
+class TestLifecycle:
+    def test_latencies_recorded(self, tiny_dirty_dataset):
+        ds = tiny_dirty_dataset
+        parallel = ParallelERPipeline(config_for(ds, threshold=0.9), processes=8)
+        result = parallel.run(list(ds.stream())[:50])
+        assert len(result.latencies) == 50
+        assert all(l >= 0 for l in result.latencies)
+
+    def test_submit_after_close_raises(self, tiny_dirty_dataset):
+        ds = tiny_dirty_dataset
+        entities = list(ds.stream())
+        parallel = ParallelERPipeline(config_for(ds, threshold=0.9), processes=8)
+        parallel.submit(entities[0])
+        parallel.close()
+        with pytest.raises(PipelineStoppedError):
+            parallel.submit(entities[1])
+        parallel.join()
+
+    def test_empty_input(self, tiny_dirty_dataset):
+        parallel = ParallelERPipeline(
+            config_for(tiny_dirty_dataset, threshold=0.9), processes=8
+        )
+        result = parallel.run([])
+        assert result.entities_processed == 0
+        assert result.matches == []

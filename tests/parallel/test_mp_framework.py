@@ -1,0 +1,90 @@
+"""Tests for the multiprocess comparison executor."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.classification import OracleClassifier, ThresholdClassifier
+from repro.core import StreamERConfig, StreamERPipeline
+from repro.errors import ConfigurationError
+from repro.parallel import MultiprocessERPipeline
+from repro.types import EntityDescription
+
+
+def config_for(dataset, threshold=None):
+    classifier = (
+        ThresholdClassifier(threshold)
+        if threshold is not None
+        else OracleClassifier.from_pairs(dataset.ground_truth)
+    )
+    return StreamERConfig(
+        alpha=StreamERConfig.alpha_for(len(dataset), 0.05),
+        beta=0.05,
+        clean_clean=dataset.clean_clean,
+        classifier=classifier,
+    )
+
+
+class TestValidation:
+    def test_rejects_bad_workers(self):
+        with pytest.raises(ConfigurationError):
+            MultiprocessERPipeline(workers=0)
+
+    def test_rejects_bad_chunk_size(self):
+        with pytest.raises(ConfigurationError):
+            MultiprocessERPipeline(chunk_size=0)
+
+
+class TestCorrectness:
+    def test_same_matches_as_sequential(self, tiny_dirty_dataset):
+        ds = tiny_dirty_dataset
+        sequential = StreamERPipeline(config_for(ds), instrument=False)
+        sequential.process_many(ds.stream())
+
+        mp_pipeline = MultiprocessERPipeline(config_for(ds), workers=2, chunk_size=64)
+        result = mp_pipeline.run(ds.stream())
+
+        assert result.match_pairs == sequential.cl.matches.pairs()
+        assert result.entities_processed == len(ds)
+        assert result.comparisons_after_cleaning == (
+            sequential.cc.retained
+        )
+
+    def test_clean_clean(self, tiny_clean_dataset):
+        ds = tiny_clean_dataset
+        mp_pipeline = MultiprocessERPipeline(config_for(ds), workers=2, chunk_size=32)
+        result = mp_pipeline.run(ds.stream())
+        for i, j in result.match_pairs:
+            assert i[0] != j[0]
+
+    def test_single_worker_tiny_chunks(self, paper_entities):
+        config = StreamERConfig(
+            alpha=5, beta=0.6, classifier=ThresholdClassifier(0.3)
+        )
+        sequential = StreamERPipeline(
+            StreamERConfig(alpha=5, beta=0.6, classifier=ThresholdClassifier(0.3)),
+            instrument=False,
+        )
+        sequential.process_many(paper_entities)
+        mp_pipeline = MultiprocessERPipeline(config, workers=1, chunk_size=1)
+        result = mp_pipeline.run(paper_entities)
+        assert result.match_pairs == sequential.cl.matches.pairs()
+
+    def test_empty_input(self):
+        mp_pipeline = MultiprocessERPipeline(
+            StreamERConfig(classifier=ThresholdClassifier(0.5)), workers=1
+        )
+        result = mp_pipeline.run([])
+        assert result.entities_processed == 0
+        assert result.matches == []
+
+    def test_no_comparisons_at_all(self):
+        mp_pipeline = MultiprocessERPipeline(
+            StreamERConfig(classifier=ThresholdClassifier(0.5)), workers=1
+        )
+        entities = [
+            EntityDescription.create(i, {"a": f"unique{i}"}) for i in range(5)
+        ]
+        result = mp_pipeline.run(entities)
+        assert result.matches == []
+        assert result.entities_processed == 5

@@ -1,0 +1,247 @@
+"""Tests for the discrete-event pipeline simulator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.stages import STAGE_ORDER
+from repro.errors import ConfigurationError
+from repro.parallel import (
+    PipelineSimulator,
+    ServiceModel,
+    SimulatorConfig,
+    allocate_processes,
+    paper_example_times,
+    simulate_speedup,
+)
+
+
+def service(cv: float = 0.0, scale: float = 1e-4) -> ServiceModel:
+    times = paper_example_times()
+    total = sum(times.values())
+    means = {k: v / total * scale * len(times) for k, v in times.items()}
+    return ServiceModel(mean_seconds=means, cv=cv, spike_probability=0.0)
+
+
+class TestServiceModel:
+    def test_requires_all_stages(self):
+        with pytest.raises(ConfigurationError):
+            ServiceModel(mean_seconds={"dr": 1.0})
+
+    def test_sample_is_deterministic(self):
+        model = service(cv=1.0)
+        assert model.sample(3, "co") == model.sample(3, "co")
+
+    def test_cv_zero_returns_mean(self):
+        model = service(cv=0.0)
+        assert model.sample(5, "cc") == pytest.approx(model.mean_seconds["cc"])
+
+    def test_zero_mean_stage(self):
+        means = {s: 0.001 for s in STAGE_ORDER}
+        means["bg"] = 0.0
+        model = ServiceModel(mean_seconds=means)
+        assert model.sample(1, "bg") == 0.0
+
+    def test_spikes_increase_some_samples(self):
+        means = {s: 0.001 for s in STAGE_ORDER}
+        spiky = ServiceModel(mean_seconds=means, cv=0.0, spike_probability=0.5, spike_factor=10.0)
+        samples = [spiky.sample(i, "co") for i in range(200)]
+        assert any(s > 0.005 for s in samples)
+        assert any(s <= 0.0011 for s in samples)
+
+    def test_sequential_makespan_sums_everything(self):
+        model = service(cv=0.0)
+        expected = model.mean_total() * 10
+        assert model.sequential_makespan(10) == pytest.approx(expected, rel=1e-6)
+
+
+class TestSimulatorBasics:
+    def test_single_item_latency_is_total_service(self):
+        model = service(cv=0.0)
+        sim = PipelineSimulator(
+            allocate_processes(model.mean_seconds, 8),
+            model,
+            SimulatorConfig(comm_overhead=0.0),
+        )
+        result = sim.run_batch(1)
+        assert result.makespan == pytest.approx(model.mean_total(), rel=1e-6)
+        assert result.latencies[0] == pytest.approx(model.mean_total(), rel=1e-6)
+
+    def test_all_items_complete(self):
+        model = service(cv=1.0)
+        sim = PipelineSimulator(allocate_processes(model.mean_seconds, 12), model)
+        result = sim.run_batch(50)
+        assert result.admitted == 50
+        assert len(result.completion_times) == 50
+
+    def test_pipelining_beats_sequential(self):
+        model = service(cv=0.0)
+        speedup, _ = simulate_speedup(
+            model, 8, n_items=200, config=SimulatorConfig(comm_overhead=0.0)
+        )
+        assert speedup > 1.5  # eight overlapping stages
+
+    def test_invalid_rate_rejected(self):
+        model = service()
+        sim = PipelineSimulator(allocate_processes(model.mean_seconds, 8), model)
+        with pytest.raises(ConfigurationError):
+            sim.run_stream(10, rate=0)
+
+    def test_missing_allocation_stage_rejected(self):
+        model = service()
+        with pytest.raises(ConfigurationError):
+            PipelineSimulator({"dr": 1}, model)
+
+
+class TestClosedFormValidation:
+    """Deterministic cases with known exact makespans."""
+
+    def test_pipeline_makespan_formula(self):
+        """With deterministic service, one worker per stage, no overhead,
+        and ample buffers: makespan = Σ stage times + (n−1) · max stage time."""
+        from repro.core.stages import STAGE_ORDER
+
+        means = {s: 1e-4 * (i + 1) for i, s in enumerate(STAGE_ORDER)}
+        model = ServiceModel(mean_seconds=means, cv=0.0, spike_probability=0.0)
+        sim = PipelineSimulator(
+            {s: 1 for s in STAGE_ORDER},
+            model,
+            SimulatorConfig(comm_overhead=0.0, buffer_capacity=1000, cores=16),
+        )
+        n = 25
+        result = sim.run_batch(n)
+        expected = sum(means.values()) + (n - 1) * max(means.values())
+        assert result.makespan == pytest.approx(expected, rel=1e-9)
+
+    def test_uniform_stage_two_workers_halve_bottleneck(self):
+        from repro.core.stages import STAGE_ORDER
+
+        means = {s: 1e-5 for s in STAGE_ORDER}
+        means["co"] = 8e-4
+        model = ServiceModel(mean_seconds=means, cv=0.0, spike_probability=0.0)
+        allocation = {s: 1 for s in STAGE_ORDER}
+        one = PipelineSimulator(
+            allocation, model, SimulatorConfig(comm_overhead=0.0, buffer_capacity=1000)
+        ).run_batch(60)
+        allocation2 = dict(allocation, co=2)
+        two = PipelineSimulator(
+            allocation2, model, SimulatorConfig(comm_overhead=0.0, buffer_capacity=1000)
+        ).run_batch(60)
+        # The bottleneck dominates the makespan; doubling its workers
+        # should roughly halve the run.
+        assert two.makespan == pytest.approx(one.makespan / 2, rel=0.1)
+
+    def test_core_cap_serializes_everything(self):
+        """With a single core, the parallel run degenerates to sequential."""
+        from repro.core.stages import STAGE_ORDER
+
+        means = {s: 1e-4 for s in STAGE_ORDER}
+        model = ServiceModel(mean_seconds=means, cv=0.0, spike_probability=0.0)
+        sim = PipelineSimulator(
+            {s: 2 for s in STAGE_ORDER},
+            model,
+            SimulatorConfig(comm_overhead=0.0, buffer_capacity=1000, cores=1),
+        )
+        result = sim.run_batch(10)
+        assert result.makespan == pytest.approx(
+            model.sequential_makespan(10), rel=1e-9
+        )
+
+
+class TestSpeedupPhenomena:
+    """The Figure 11 phenomena, at reduced scale for test speed."""
+
+    def test_more_processes_help_until_core_cap(self):
+        model = service(cv=0.5)
+        cfg = SimulatorConfig(comm_overhead=0.05 * model.mean_total())
+        s8, _ = simulate_speedup(model, 8, n_items=300, config=cfg)
+        s19, _ = simulate_speedup(model, 19, n_items=300, config=cfg)
+        assert s19 > s8
+
+    def test_speedup_plateaus_past_cores(self):
+        model = service(cv=0.5)
+        cfg = SimulatorConfig(comm_overhead=0.05 * model.mean_total(), cores=16)
+        s19, _ = simulate_speedup(model, 19, n_items=300, config=cfg)
+        s25, _ = simulate_speedup(model, 25, n_items=300, config=cfg)
+        assert s25 <= s19 * 1.25
+
+    def test_micro_batching_amortizes_comm_overhead(self):
+        model = service(cv=0.0)
+        comm = 0.3 * model.mean_total()
+        pp, _ = simulate_speedup(
+            model, 8, n_items=300,
+            config=SimulatorConfig(comm_overhead=comm, micro_batch_size=1),
+        )
+        mpp, _ = simulate_speedup(
+            model, 8, n_items=300,
+            config=SimulatorConfig(
+                comm_overhead=comm, micro_batch_size=50, buffer_capacity=100
+            ),
+        )
+        assert mpp > pp
+
+
+class TestBurstArrivals:
+    def test_bursty_source_same_average_throughput(self):
+        """Bursts don't change the saturated rate, only queueing."""
+        from repro.streaming import arrival_schedule
+
+        model = service(cv=0.0)
+        sim = PipelineSimulator(
+            allocate_processes(model.mean_seconds, 19), model,
+            SimulatorConfig(comm_overhead=0.0),
+        )
+        rate = 0.5 / max(model.mean_seconds.values())  # below capacity
+        smooth = sim.run(arrival_schedule(400, rate, burst=1))
+        bursty = sim.run(arrival_schedule(400, rate, burst=20))
+        assert bursty.throughput == pytest.approx(smooth.throughput, rel=0.1)
+
+    def test_bursts_raise_latency(self):
+        from repro.streaming import arrival_schedule
+
+        model = service(cv=0.0)
+        sim = PipelineSimulator(
+            allocate_processes(model.mean_seconds, 19), model,
+            SimulatorConfig(comm_overhead=0.0),
+        )
+        rate = 0.5 / max(model.mean_seconds.values())
+        smooth = sim.run(arrival_schedule(400, rate, burst=1))
+        bursty = sim.run(arrival_schedule(400, rate, burst=20))
+        mean = lambda xs: sum(xs) / len(xs)  # noqa: E731
+        assert mean(bursty.latencies) > mean(smooth.latencies)
+
+
+class TestStreaming:
+    def test_underloaded_source_rate_is_respected(self):
+        model = service(cv=0.0)
+        sim = PipelineSimulator(
+            allocate_processes(model.mean_seconds, 19), model,
+            SimulatorConfig(comm_overhead=0.0),
+        )
+        capacity = 1.0 / max(model.mean_seconds.values())
+        rate = capacity / 4
+        result = sim.run_stream(200, rate)
+        assert result.throughput == pytest.approx(rate, rel=0.15)
+
+    def test_overloaded_throughput_saturates(self):
+        model = service(cv=0.0)
+        sim = PipelineSimulator(
+            allocate_processes(model.mean_seconds, 19), model,
+            SimulatorConfig(comm_overhead=0.0),
+        )
+        capacity = 1.0 / max(model.mean_seconds.values())
+        low = sim.run_stream(300, capacity * 10).throughput
+        lower = sim.run_stream(300, capacity * 100).throughput
+        assert lower == pytest.approx(low, rel=0.1)  # rate-independent
+
+    def test_latency_bounded_under_overload(self):
+        """Backpressured admission keeps processing latency bounded."""
+        model = service(cv=0.0)
+        sim = PipelineSimulator(
+            allocate_processes(model.mean_seconds, 19), model,
+            SimulatorConfig(comm_overhead=0.0, buffer_capacity=8),
+        )
+        result = sim.run_stream(300, rate=1e9)
+        # queues are bounded, so worst-case latency is bounded by
+        # (#stages × capacity) item services, far below 300 services.
+        assert max(result.latencies) < model.mean_total() * 100

@@ -1,0 +1,86 @@
+"""Tests for the simulator's per-item tracing."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.stages import STAGE_ORDER
+from repro.parallel import (
+    PipelineSimulator,
+    ServiceModel,
+    SimulatorConfig,
+    allocate_processes,
+)
+
+
+def flat_service(mean=1e-4, cv=0.0, spikes=0.0):
+    return ServiceModel(
+        mean_seconds={s: mean for s in STAGE_ORDER},
+        cv=cv,
+        spike_probability=spikes,
+        spike_factor=20.0,
+    )
+
+
+def simulator(service, processes=8, **cfg):
+    return PipelineSimulator(
+        allocate_processes(service.mean_seconds, processes),
+        service,
+        SimulatorConfig(**cfg),
+    )
+
+
+class TestTraceRecording:
+    def test_disabled_by_default(self):
+        result = simulator(flat_service()).run_batch(5)
+        assert result.trace is None
+
+    def test_records_every_item_and_stage(self):
+        result = simulator(flat_service()).run([0.0] * 10, trace=True)
+        trace = result.trace
+        assert trace is not None
+        assert len(trace.wait_seconds) == 10
+        for item in range(10):
+            assert set(trace.service_seconds[item]) == set(STAGE_ORDER)
+
+    def test_service_plus_wait_equals_latency(self):
+        service = flat_service(cv=0.5)
+        result = simulator(service, comm_overhead=1e-5).run([0.0] * 20, trace=True)
+        trace = result.trace
+        assert trace is not None
+        for item in range(20):
+            breakdown = trace.item_latency_breakdown(item)
+            assert sum(breakdown.values()) == pytest.approx(
+                result.latencies[item], rel=1e-6
+            )
+
+    def test_waits_are_nonnegative(self):
+        result = simulator(flat_service(cv=1.0)).run([0.0] * 30, trace=True)
+        for per_item in result.trace.wait_seconds:  # type: ignore[union-attr]
+            assert all(w >= -1e-12 for w in per_item.values())
+
+
+class TestPeakAttribution:
+    def test_bottleneck_stage_dominates_waits(self):
+        means = {s: 1e-5 for s in STAGE_ORDER}
+        means["co"] = 5e-4  # 50× the rest: the queue forms in front of co
+        service = ServiceModel(mean_seconds=means, cv=0.0, spike_probability=0.0)
+        result = simulator(service).run([0.0] * 50, trace=True)
+        waits = result.trace.mean_wait_by_stage()  # type: ignore[union-attr]
+        assert max(waits, key=lambda s: waits[s]) == "co"
+
+    def test_peak_attribution_counts_slow_items(self):
+        service = flat_service(cv=0.5, spikes=0.05)
+        result = simulator(service).run([0.0] * 200, trace=True)
+        attribution = result.trace.peak_attribution(  # type: ignore[union-attr]
+            result.latencies, quantile=0.95
+        )
+        assert attribution
+        assert sum(attribution.values()) >= 10  # the slowest 5% of 200
+
+    def test_dominant_stage_of_empty_breakdown(self):
+        from repro.parallel import SimulationTrace
+
+        trace = SimulationTrace(wait_seconds=[{}], service_seconds=[{}])
+        assert trace.dominant_stage(0) == ""
+        assert trace.peak_attribution([]) == {}

@@ -1,0 +1,58 @@
+"""Unit tests for profile building (f_dr substrate)."""
+
+from __future__ import annotations
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.reading.profiles import ProfileBuilder
+from repro.types import EntityDescription
+
+
+class TestProfileBuilder:
+    def test_builds_tokens_from_standardized_values(self):
+        builder = ProfileBuilder()
+        e = EntityDescription.create(1, {"material": "Timber", "part": "Panels"})
+        p = builder.build(e)
+        assert "wood" in p.tokens
+        assert "panel" in p.tokens
+        assert "timber" not in p.tokens
+
+    def test_keys_alias(self):
+        p = ProfileBuilder().build(EntityDescription.create(1, {"a": "glass"}))
+        assert p.keys == p.tokens
+
+    def test_preserves_identity_and_source(self):
+        e = EntityDescription.create(("x", 3), {"a": "glass"}, source="x")
+        p = ProfileBuilder().build(e)
+        assert p.eid == ("x", 3)
+        assert p.source == "x"
+
+    def test_cache_hit_returns_same_result(self):
+        builder = ProfileBuilder()
+        e1 = EntityDescription.create(1, {"a": "fiber glass"})
+        e2 = EntityDescription.create(2, {"b": "fiber glass"})
+        p1, p2 = builder.build(e1), builder.build(e2)
+        assert p1.tokens == p2.tokens
+        assert p1.attributes[0][1] == p2.attributes[0][1]
+
+    def test_cache_eviction_keeps_results_correct(self):
+        builder = ProfileBuilder(cache_size=2)
+        values = ["alpha beta", "gamma delta", "epsilon zeta", "alpha beta"]
+        for i, value in enumerate(values):
+            p = builder.build(EntityDescription.create(i, {"a": value}))
+            assert p.tokens == frozenset(value.split())
+
+    @given(
+        st.lists(
+            st.tuples(st.text(max_size=12), st.text(max_size=30)),
+            max_size=6,
+        )
+    )
+    def test_tokens_always_subset_of_standardized_text(self, attributes):
+        builder = ProfileBuilder()
+        e = EntityDescription.create(0, attributes)
+        p = builder.build(e)
+        joined = " ".join(v for _, v in p.attributes)
+        for token in p.tokens:
+            assert token in joined

@@ -1,0 +1,79 @@
+"""Unit tests for the entity-description sources."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import DatasetError
+from repro.reading.sources import from_records, read_csv, read_jsonl
+
+
+class TestFromRecords:
+    def test_uses_id_field(self):
+        entities = list(from_records([{"id": "a", "name": "x"}]))
+        assert entities[0].eid == "a"
+        assert entities[0].attributes == (("name", "x"),)
+
+    def test_sequential_ids_when_missing(self):
+        entities = list(from_records([{"name": "x"}, {"name": "y"}]))
+        assert [e.eid for e in entities] == [0, 1]
+
+    def test_drops_empty_values(self):
+        entities = list(from_records([{"id": 1, "a": "", "b": None, "c": "kept"}]))
+        assert entities[0].attributes == (("c", "kept"),)
+
+    def test_source_tagging(self):
+        entities = list(from_records([{"id": 1, "a": "x"}], source="web"))
+        assert entities[0].source == "web"
+
+
+class TestReadCsv:
+    def test_reads_rows(self, tmp_path):
+        path = tmp_path / "data.csv"
+        path.write_text("id,name,price\n1,lamp,9\n2,chair,20\n")
+        entities = list(read_csv(path))
+        assert len(entities) == 2
+        assert entities[0].attributes == (("name", "lamp"), ("price", "9"))
+
+    def test_custom_delimiter(self, tmp_path):
+        path = tmp_path / "data.tsv"
+        path.write_text("id\tname\n1\tlamp\n")
+        entities = list(read_csv(path, delimiter="\t"))
+        assert entities[0].attributes == (("name", "lamp"),)
+
+    def test_empty_file_raises(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        path.write_text("")
+        with pytest.raises(DatasetError):
+            list(read_csv(path))
+
+
+class TestReadJsonl:
+    def test_reads_and_flattens(self, tmp_path):
+        path = tmp_path / "data.jsonl"
+        path.write_text(
+            '{"id": 1, "name": "lamp", "spec": {"w": 10, "h": 20}}\n'
+            '{"id": 2, "tags": ["red", "small"]}\n'
+        )
+        entities = list(read_jsonl(path))
+        attrs0 = dict(entities[0].attributes)
+        assert attrs0["spec.w"] == "10"
+        attrs1 = dict(entities[1].attributes)
+        assert attrs1["tags"] == "red small"
+
+    def test_skips_blank_lines(self, tmp_path):
+        path = tmp_path / "data.jsonl"
+        path.write_text('{"id": 1, "a": "x"}\n\n{"id": 2, "a": "y"}\n')
+        assert len(list(read_jsonl(path))) == 2
+
+    def test_invalid_json_raises_with_location(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"id": 1}\nnot-json\n')
+        with pytest.raises(DatasetError, match="2"):
+            list(read_jsonl(path))
+
+    def test_non_object_line_raises(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text("[1, 2]\n")
+        with pytest.raises(DatasetError, match="object"):
+            list(read_jsonl(path))

@@ -1,0 +1,63 @@
+"""Unit tests for the standardizer."""
+
+from __future__ import annotations
+
+from repro.reading.standardize import Standardizer
+from repro.types import EntityDescription
+
+
+class TestStandardizeWord:
+    def test_spelling_us_to_gb(self):
+        assert Standardizer().standardize_word("fiber") == "fibre"
+
+    def test_synonym_generalization(self):
+        assert Standardizer().standardize_word("timber") == "wood"
+
+    def test_abbreviation_expansion(self):
+        assert Standardizer().standardize_word("dept") == "department"
+
+    def test_plural_stripping(self):
+        s = Standardizer()
+        assert s.standardize_word("panels") == "panel"
+        assert s.standardize_word("categories") == "category"
+
+    def test_plural_stripping_spares_short_and_ss_words(self):
+        s = Standardizer()
+        assert s.standardize_word("gas") == "gas"
+        assert s.standardize_word("glass") == "glass"
+
+    def test_plural_stripping_can_be_disabled(self):
+        s = Standardizer(stem_plurals=False)
+        assert s.standardize_word("panels") == "panels"
+
+
+class TestStandardizeValue:
+    def test_lowercases(self):
+        assert Standardizer().standardize_value("Glass Panel") == "glass panel"
+
+    def test_applies_word_rules_in_context(self):
+        result = Standardizer().standardize_value("Fiber and Timber panels")
+        assert "fibre" in result
+        assert "wood" in result
+        assert "panel" in result
+
+    def test_preserves_non_word_characters(self):
+        assert Standardizer().standardize_value("a-b") == "a-b"
+
+
+class TestStandardizeEntity:
+    def test_returns_new_description_with_same_identity(self):
+        e = EntityDescription.create(7, {"material": "Timber"}, source="x")
+        out = Standardizer().standardize(e)
+        assert out.eid == 7
+        assert out.source == "x"
+        assert out.attributes == (("material", "wood"),)
+
+    def test_paper_example_fiber_to_fibre(self):
+        e = EntityDescription.create(4, {"desc": "fiber glass panel"})
+        out = Standardizer().standardize(e)
+        assert "fibre" in out.attributes[0][1]
+
+    def test_custom_maps(self):
+        s = Standardizer(spelling={}, abbreviations={}, synonyms={"car": "vehicle"})
+        assert s.standardize_word("car") == "vehicle"

@@ -1,0 +1,122 @@
+"""Tests for dataset profiling statistics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.reading import profile_dataset
+from repro.reading.stats import _gini
+from repro.types import EntityDescription
+
+
+def uniform_entities(n=20):
+    return [
+        EntityDescription.create(i, {"title": f"thing{i}", "year": "1999"})
+        for i in range(n)
+    ]
+
+
+def heterogeneous_entities(n=20):
+    return [
+        EntityDescription.create(i, {f"attr_{i}": f"value{i} token{i}"})
+        for i in range(n)
+    ]
+
+
+class TestGini:
+    def test_uniform_is_zero_ish(self):
+        assert _gini([5, 5, 5, 5]) == pytest.approx(0.0, abs=1e-9)
+
+    def test_concentrated_is_high(self):
+        assert _gini([0, 0, 0, 100]) > 0.7
+
+    def test_empty(self):
+        assert _gini([]) == 0.0
+        assert _gini([0, 0]) == 0.0
+
+
+class TestProfileDataset:
+    def test_empty_collection(self):
+        profile = profile_dataset([])
+        assert profile.entities == 0
+        assert profile.heterogeneity_index == 0.0
+
+    def test_counts(self):
+        profile = profile_dataset(uniform_entities(10))
+        assert profile.entities == 10
+        assert profile.distinct_attributes == 2
+        assert profile.avg_attributes_per_entity == pytest.approx(2.0)
+
+    def test_fixed_schema_has_low_heterogeneity(self):
+        profile = profile_dataset(uniform_entities())
+        assert profile.heterogeneity_index == 0.0
+        assert profile.attribute_sparsity == pytest.approx(0.0)
+
+    def test_schema_free_data_has_high_heterogeneity(self):
+        profile = profile_dataset(heterogeneous_entities())
+        assert profile.heterogeneity_index == 1.0
+        assert profile.attribute_sparsity > 0.9
+
+    def test_catalog_datasets_ordered_by_heterogeneity(self, tiny_dirty_dataset, tiny_clean_dataset):
+        low = profile_dataset(tiny_dirty_dataset.entities)   # heterogeneity 0.2
+        high = profile_dataset(tiny_clean_dataset.entities)  # heterogeneity 0.4
+        assert high.heterogeneity_index > low.heterogeneity_index
+
+    def test_summary_is_readable(self):
+        text = profile_dataset(uniform_entities(5)).summary()
+        assert "5 entities" in text
+        assert "heterogeneity" in text
+
+
+class TestCombineMany:
+    def test_three_sources(self):
+        from repro.core import combine_many
+
+        sources = {
+            name: [EntityDescription.create(i, {"a": f"{name}{i}"}) for i in range(2)]
+            for name in ("x", "y", "z")
+        }
+        combined = list(combine_many(sources))
+        assert len(combined) == 6
+        assert {e.eid[0] for e in combined} == {"x", "y", "z"}
+
+    def test_uneven_sources(self):
+        from repro.core import combine_many
+
+        sources = {
+            "x": [EntityDescription.create(i, {"a": "v"}) for i in range(3)],
+            "y": [EntityDescription.create(0, {"a": "v"})],
+        }
+        combined = list(combine_many(sources))
+        assert len(combined) == 4
+
+    def test_single_source_rejected(self):
+        from repro.core import combine_many
+        from repro.errors import DatasetError
+
+        with pytest.raises(DatasetError):
+            list(combine_many({"x": []}))
+
+    def test_multi_source_pipeline_matches_cross_source_only(self):
+        from repro.classification import ThresholdClassifier
+        from repro.core import StreamERConfig, StreamERPipeline, combine_many
+
+        sources = {
+            name: [
+                EntityDescription.create(i, {"a": "shared tokens everywhere"})
+                for i in range(2)
+            ]
+            for name in ("x", "y", "z")
+        }
+        pipeline = StreamERPipeline(
+            StreamERConfig(
+                alpha=100, beta=0.1, clean_clean=True,
+                classifier=ThresholdClassifier(0.5),
+            ),
+            instrument=False,
+        )
+        pipeline.process_many(combine_many(sources))
+        pairs = pipeline.cl.matches.pairs()
+        assert pairs
+        for i, j in pairs:
+            assert i[0] != j[0]

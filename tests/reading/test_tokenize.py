@@ -1,0 +1,56 @@
+"""Unit tests for the tokenizer."""
+
+from __future__ import annotations
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.reading.tokenize import DEFAULT_STOPWORDS, Tokenizer
+
+
+class TestTokenizer:
+    def test_lowercases_and_splits(self):
+        assert Tokenizer().tokens("Glass FIBRE Panel") == ["glass", "fibre", "panel"]
+
+    def test_splits_on_punctuation(self):
+        assert Tokenizer().tokens("fibre-glass,panel") == ["fibre", "glass", "panel"]
+
+    def test_drops_short_tokens_but_keeps_digits(self):
+        tokens = Tokenizer(min_length=3).tokens("ab 12 abc")
+        assert tokens == ["12", "abc"]
+
+    def test_drops_stopwords_by_default(self):
+        assert "the" not in Tokenizer().tokens("the panel of the pavilion")
+
+    def test_stopwords_kept_when_disabled(self):
+        assert "the" in Tokenizer(drop_stopwords=False).tokens("the panel")
+
+    def test_custom_stopwords(self):
+        tok = Tokenizer(stopwords=frozenset({"panel"}))
+        assert tok.tokens("panel pavilion") == ["pavilion"]
+
+    def test_token_set_deduplicates_across_values(self):
+        tok = Tokenizer()
+        result = tok.token_set(["glass panel", "panel wood"])
+        assert result == frozenset({"glass", "panel", "wood"})
+
+    def test_duplicates_preserved_within_tokens(self):
+        assert Tokenizer().tokens("panel panel") == ["panel", "panel"]
+
+    def test_empty_string(self):
+        assert Tokenizer().tokens("") == []
+        assert Tokenizer().token_set([]) == frozenset()
+
+    @given(st.text())
+    def test_never_crashes_and_tokens_are_clean(self, text):
+        for token in Tokenizer().tokens(text):
+            assert token == token.lower()
+            assert token not in DEFAULT_STOPWORDS
+            assert len(token) >= 2 or token.isdigit()
+
+    @given(st.text())
+    def test_idempotent_on_own_output(self, text):
+        tok = Tokenizer()
+        once = tok.tokens(text)
+        again = tok.tokens(" ".join(once))
+        assert once == again

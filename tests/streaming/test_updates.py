@@ -1,0 +1,99 @@
+"""Tests for update-aware ER."""
+
+from __future__ import annotations
+
+from repro.classification import ThresholdClassifier
+from repro.core import StreamERConfig, StreamERPipeline
+from repro.streaming.updates import UpdateAwareERPipeline
+from repro.types import EntityDescription
+
+
+def entity(i, text):
+    return EntityDescription.create(i, {"t": text})
+
+
+def make(threshold=0.5, alpha=1000):
+    return UpdateAwareERPipeline(
+        StreamERConfig(alpha=alpha, beta=0.1, classifier=ThresholdClassifier(threshold))
+    )
+
+
+class TestInsertThenUpdate:
+    def test_update_replaces_block_memberships(self):
+        pipeline = make()
+        pipeline.process(entity(1, "alpha beta"))
+        pipeline.process(entity(1, "gamma delta"))  # update
+        blocks = pipeline.pipeline.bb.blocks
+        assert 1 not in blocks.block("alpha")
+        assert 1 in blocks.block("gamma")
+        assert pipeline.updates_applied == 1
+        assert pipeline.version_of(1) == 2
+
+    def test_update_replaces_profile(self):
+        pipeline = make()
+        pipeline.process(entity(1, "alpha beta"))
+        pipeline.process(entity(1, "gamma delta"))
+        profile = pipeline.pipeline.lm.profiles.get(1)
+        assert profile is not None
+        assert "gamma" in profile.tokens
+        assert "alpha" not in profile.tokens
+
+    def test_new_description_matches_current_not_old(self):
+        pipeline = make()
+        pipeline.process(entity(1, "alpha beta gamma"))
+        pipeline.process(entity(1, "completely different words"))  # update
+        matches = pipeline.process(entity(2, "alpha beta gamma"))
+        # e2 must NOT match e1's *old* description.
+        assert matches == []
+
+    def test_updated_entity_can_match_anew(self):
+        pipeline = make()
+        pipeline.process(entity(1, "old tokens here"))
+        pipeline.process(entity(2, "fresh shiny words"))
+        matches = pipeline.process(entity(1, "fresh shiny words"))  # update
+        assert [m.key() for m in matches] == [(1, 2)]
+
+    def test_no_self_match_on_update(self):
+        pipeline = make()
+        pipeline.process(entity(1, "alpha beta"))
+        matches = pipeline.process(entity(1, "alpha beta"))
+        assert all(m.left != m.right for m in matches)
+
+
+class TestStaleness:
+    def test_match_becomes_stale_after_update(self):
+        pipeline = make()
+        pipeline.process(entity(1, "alpha beta gamma"))
+        pipeline.process(entity(2, "alpha beta gamma"))
+        assert pipeline.stale_matches() == []
+        pipeline.process(entity(1, "totally new content"))  # invalidates
+        stale = pipeline.stale_matches()
+        assert [m.key() for m in stale] == [(1, 2)]
+
+    def test_fresh_rematch_not_stale(self):
+        pipeline = make()
+        pipeline.process(entity(1, "alpha beta gamma"))
+        pipeline.process(entity(2, "alpha beta gamma"))
+        pipeline.process(entity(1, "alpha beta gamma"))  # update, same text
+        # Match (1,2) was found at version (1,1); e1 is now version 2, so
+        # the old evidence is stale even though the text is identical.
+        assert [m.key() for m in pipeline.stale_matches()] == [(1, 2)]
+
+
+class TestInsertOnlyEquivalence:
+    def test_matches_reference_pipeline_without_updates(self, tiny_dirty_dataset):
+        ds = tiny_dirty_dataset
+        config = lambda: StreamERConfig(  # noqa: E731
+            alpha=StreamERConfig.alpha_for(len(ds), 0.05),
+            beta=0.05,
+            classifier=ThresholdClassifier(0.6),
+        )
+        reference = StreamERPipeline(config(), instrument=False)
+        reference.process_many(ds.stream())
+        update_aware = UpdateAwareERPipeline(config())
+        update_aware.process_many(ds.stream())
+        assert (
+            update_aware.pipeline.cl.matches.pairs()
+            == reference.cl.matches.pairs()
+        )
+        assert update_aware.updates_applied == 0

@@ -1,0 +1,126 @@
+"""Tests for the sliding-window pipeline."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.classification import ThresholdClassifier
+from repro.core import StreamERConfig, StreamERPipeline
+from repro.errors import ConfigurationError
+from repro.streaming import SlidingWindowERPipeline
+from repro.types import EntityDescription
+
+
+def entity(i, text):
+    return EntityDescription.create(i, {"t": text})
+
+
+def config(threshold=0.5):
+    return StreamERConfig(alpha=1000, beta=0.05, classifier=ThresholdClassifier(threshold))
+
+
+class TestWindowSemantics:
+    def test_rejects_bad_window(self):
+        with pytest.raises(ConfigurationError):
+            SlidingWindowERPipeline(config(), window=0)
+
+    def test_matches_within_window_found(self):
+        windowed = SlidingWindowERPipeline(config(), window=10)
+        windowed.process(entity(1, "alpha beta gamma"))
+        matches = windowed.process(entity(2, "alpha beta gamma"))
+        assert [m.key() for m in matches] == [(1, 2)]
+
+    def test_matches_beyond_window_missed(self):
+        windowed = SlidingWindowERPipeline(config(), window=2)
+        windowed.process(entity(1, "alpha beta gamma"))
+        windowed.process(entity(2, "unrelated tokens here"))
+        windowed.process(entity(3, "more unrelated things"))  # evicts 1
+        matches = windowed.process(entity(4, "alpha beta gamma"))
+        assert matches == []
+
+    def test_state_stays_bounded(self):
+        windowed = SlidingWindowERPipeline(config(0.99), window=25)
+        for i in range(200):
+            windowed.process(entity(i, f"token{i} shared common"))
+        assert len(windowed.current_window) == 25
+        assert len(windowed.pipeline.lm.profiles) <= 25
+        assert windowed.pipeline.bb.blocks.total_assignments() <= 25 * 5
+        assert windowed.stats.evicted_entities == 175
+
+    def test_block_membership_removed_on_eviction(self):
+        windowed = SlidingWindowERPipeline(config(0.99), window=1)
+        windowed.process(entity(1, "alpha beta"))
+        windowed.process(entity(2, "gamma delta"))  # evicts 1
+        blocks = windowed.pipeline.bb.blocks
+        assert 1 not in blocks.block("alpha")
+        assert 1 not in blocks.block("beta")
+
+    def test_empty_blocks_dropped(self):
+        windowed = SlidingWindowERPipeline(config(0.99), window=1)
+        windowed.process(entity(1, "unique1"))
+        windowed.process(entity(2, "unique2"))
+        assert "unique1" not in windowed.pipeline.bb.blocks
+
+    def test_matches_survive_eviction(self):
+        """M is the output: evicting state never removes found matches."""
+        windowed = SlidingWindowERPipeline(config(), window=2)
+        windowed.process(entity(1, "alpha beta gamma"))
+        windowed.process(entity(2, "alpha beta gamma"))
+        for i in range(3, 10):
+            windowed.process(entity(i, f"junk{i} stuff{i}"))
+        assert (1, 2) in windowed.pipeline.cl.matches.pairs()
+
+
+class TestWindowEquivalenceProperty:
+    from hypothesis import given, settings
+    from hypothesis import strategies as st
+
+    tokens = st.sampled_from(["glass", "panel", "wood", "roof", "door", "lamp"])
+    values = st.lists(tokens, min_size=1, max_size=4).map(" ".join)
+
+    @given(
+        texts=st.lists(values, max_size=18),
+        alpha=st.sampled_from([4, 1000]),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_window_covering_stream_equals_unbounded(self, texts, alpha):
+        cfg = lambda: StreamERConfig(  # noqa: E731
+            alpha=alpha, beta=0.5, classifier=ThresholdClassifier(0.4)
+        )
+        stream = [entity(i, t) for i, t in enumerate(texts)]
+        unbounded = StreamERPipeline(cfg(), instrument=False)
+        unbounded.process_many(stream)
+        windowed = SlidingWindowERPipeline(cfg(), window=len(stream) + 1)
+        windowed.process_many(stream)
+        assert (
+            windowed.pipeline.cl.matches.pairs() == unbounded.cl.matches.pairs()
+        )
+
+    # Note: a *smaller* window does NOT find a subset of the unbounded
+    # run's matches — eviction changes I-WNP's average threshold and can
+    # keep blocks below the α pruning bound, so cleaning is non-monotone
+    # in the candidate set.  Only the covering-window equivalence holds.
+
+
+class TestEquivalenceWithinWindow:
+    def test_large_window_equals_unbounded(self, tiny_dirty_dataset):
+        ds = tiny_dirty_dataset
+        cfg = StreamERConfig(
+            alpha=StreamERConfig.alpha_for(len(ds), 0.05),
+            beta=0.05,
+            classifier=ThresholdClassifier(0.6),
+        )
+        unbounded = StreamERPipeline(cfg, instrument=False)
+        unbounded.process_many(ds.stream())
+        windowed = SlidingWindowERPipeline(
+            StreamERConfig(
+                alpha=StreamERConfig.alpha_for(len(ds), 0.05),
+                beta=0.05,
+                classifier=ThresholdClassifier(0.6),
+            ),
+            window=len(ds) + 1,
+        )
+        windowed.process_many(ds.stream())
+        assert (
+            windowed.pipeline.cl.matches.pairs() == unbounded.cl.matches.pairs()
+        )

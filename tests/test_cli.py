@@ -1,0 +1,143 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import io
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+def run_cli(argv) -> tuple[int, list[dict]]:
+    out = io.StringIO()
+    code = main(argv, out=out)
+    records = [json.loads(line) for line in out.getvalue().splitlines() if line]
+    return code, records
+
+
+@pytest.fixture()
+def catalog_csv(tmp_path):
+    path = tmp_path / "catalog.csv"
+    path.write_text(
+        "id,title,maker\n"
+        "1,red table lamp vintage,acme\n"
+        "2,red table lamp vintage,acme\n"
+        "3,blue office chair,chairco\n"
+        "4,blue office chair ergonomic,chairco\n"
+    )
+    return path
+
+
+@pytest.fixture()
+def catalog_jsonl(tmp_path):
+    path = tmp_path / "catalog.jsonl"
+    lines = [
+        {"id": "a", "name": "red table lamp vintage"},
+        {"id": "b", "name": "blue office chair"},
+    ]
+    path.write_text("\n".join(json.dumps(l) for l in lines) + "\n")
+    return path
+
+
+class TestDedupe:
+    def test_emits_match_pairs(self, catalog_csv):
+        code, records = run_cli(["dedupe", str(catalog_csv), "--threshold", "0.6"])
+        assert code == 0
+        pairs = {tuple(sorted((r["left"], r["right"]))) for r in records}
+        assert ("1", "2") in pairs
+
+    def test_clusters_mode(self, catalog_csv):
+        code, records = run_cli(
+            ["dedupe", str(catalog_csv), "--threshold", "0.6", "--clusters"]
+        )
+        assert code == 0
+        clusters = [set(r["cluster"]) for r in records]
+        assert {"1", "2"} in clusters
+
+    def test_empty_file_fails_cleanly(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        path.write_text("id,title\n")
+        code, records = run_cli(["dedupe", str(path)])
+        assert code == 1
+        assert records == []
+
+
+class TestLink:
+    def test_links_across_files(self, catalog_csv, catalog_jsonl):
+        code, records = run_cli(
+            ["link", str(catalog_csv), str(catalog_jsonl), "--threshold", "0.6"]
+        )
+        assert code == 0
+        assert records  # the lamp / chair records link across files
+        for r in records:
+            left_source, _ = r["left"]
+            right_source, _ = r["right"]
+            assert left_source != right_source
+
+
+class TestProfile:
+    def test_emits_statistics(self, catalog_csv):
+        code, records = run_cli(["profile", str(catalog_csv)])
+        assert code == 0
+        assert records[0]["entities"] == 4
+        assert records[0]["distinct_attributes"] == 2
+        assert 0.0 <= records[0]["heterogeneity_index"] <= 1.0
+
+    def test_empty_file(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        path.write_text("id,a\n")
+        code, _ = run_cli(["profile", str(path)])
+        assert code == 1
+
+
+class TestGenerate:
+    def test_writes_entities_and_ground_truth(self, tmp_path):
+        out_path = tmp_path / "data.jsonl"
+        gt_path = tmp_path / "gt.jsonl"
+        code, _ = run_cli(
+            [
+                "generate", "ag", "--scale", "0.02",
+                "--out", str(out_path), "--ground-truth", str(gt_path),
+            ]
+        )
+        assert code == 0
+        entities = [json.loads(l) for l in out_path.read_text().splitlines()]
+        assert entities and all("id" in e for e in entities)
+        assert gt_path.exists()
+
+    def test_generate_to_stdout(self):
+        code, records = run_cli(["generate", "cora", "--scale", "0.02"])
+        assert code == 0
+        assert records
+
+    def test_unknown_dataset_rejected(self):
+        with pytest.raises(SystemExit):
+            run_cli(["generate", "wikipedia"])
+
+
+class TestModuleEntryPoint:
+    def test_python_dash_m_repro(self, catalog_csv):
+        import subprocess
+        import sys
+
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro", "profile", str(catalog_csv)],
+            capture_output=True,
+            text=True,
+            timeout=120,
+        )
+        assert proc.returncode == 0
+        assert "entities" in proc.stdout
+
+
+class TestRoundTrip:
+    def test_generated_data_is_dedupable(self, tmp_path):
+        out_path = tmp_path / "cora.jsonl"
+        run_cli(["generate", "cora", "--scale", "0.05", "--out", str(out_path)])
+        code, records = run_cli(
+            ["dedupe", str(out_path), "--threshold", "0.7"]
+        )
+        assert code == 0
+        assert records  # cora-like data is duplicate-heavy
