@@ -2,7 +2,7 @@
 
 from repro.core.cleanclean import combine, combine_many, source_of, tag, tag_pairs
 from repro.core.persistence import dump_state, load_state
-from repro.core.config import StreamERConfig
+from repro.core.config import StreamERConfig, SupervisionPolicy
 from repro.core.model import (
     FunctionalState,
     ModelConfig,
@@ -21,6 +21,7 @@ from repro.core.state import (
 
 __all__ = [
     "StreamERConfig",
+    "SupervisionPolicy",
     "StreamERPipeline",
     "ERResult",
     "ERState",

@@ -12,6 +12,55 @@ from repro.reading.profiles import ProfileBuilder
 
 
 @dataclass(frozen=True)
+class SupervisionPolicy:
+    """How a pipeline executor reacts to a stage function raising.
+
+    A failing item is retried up to ``max_retries`` times with exponential
+    backoff (``backoff_seconds · backoff_multiplier^(attempt-1)``, capped at
+    ``max_backoff_seconds``); once retries are exhausted the item is routed
+    to the dead-letter queue instead of killing the worker.
+
+    ``no_retry_stages`` lists stages whose state mutation is *not*
+    idempotent and must therefore fail straight to the dead-letter queue: by
+    default ``bb+bp``, because re-running block building would append the
+    entity to its blocks a second time.  Pure stages (``dr``, ``co``) and
+    stages whose stores deduplicate (``cl``) are safe to retry.
+    """
+
+    max_retries: int = 2
+    backoff_seconds: float = 0.0
+    backoff_multiplier: float = 2.0
+    max_backoff_seconds: float = 0.1
+    no_retry_stages: frozenset[str] = frozenset({"bb+bp"})
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise ConfigurationError("max_retries cannot be negative")
+        if self.backoff_seconds < 0:
+            raise ConfigurationError("backoff_seconds cannot be negative")
+        if self.backoff_multiplier < 1.0:
+            raise ConfigurationError("backoff_multiplier must be >= 1")
+        if self.max_backoff_seconds < 0:
+            raise ConfigurationError("max_backoff_seconds cannot be negative")
+
+    @staticmethod
+    def none() -> "SupervisionPolicy":
+        """Fail fast: no retries, every failure dead-letters immediately."""
+        return SupervisionPolicy(max_retries=0)
+
+    def retries_for(self, stage: str) -> int:
+        """Retry budget for one stage (0 for non-idempotent stages)."""
+        return 0 if stage in self.no_retry_stages else self.max_retries
+
+    def backoff_for(self, attempt: int) -> float:
+        """Sleep before retrying after the ``attempt``-th failure (1-based)."""
+        if self.backoff_seconds <= 0:
+            return 0.0
+        delay = self.backoff_seconds * self.backoff_multiplier ** (attempt - 1)
+        return min(delay, self.max_backoff_seconds)
+
+
+@dataclass(frozen=True)
 class StreamERConfig:
     """Parameters of the dynamic-data ER pipeline.
 

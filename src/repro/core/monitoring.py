@@ -34,9 +34,11 @@ class Snapshot:
     blocks: int
     blacklisted_keys: int
     profiles_stored: int
+    items_failed: int = 0
+    retries_performed: int = 0
 
     def summary(self) -> str:
-        return (
+        text = (
             f"{self.entities_processed} entities "
             f"({self.throughput_recent:,.0f}/s recent), "
             f"{self.comparisons_per_entity_recent:.1f} comparisons/entity, "
@@ -44,6 +46,12 @@ class Snapshot:
             f"{self.blocks} blocks (+{self.blacklisted_keys} blacklisted), "
             f"{self.profiles_stored} profiles"
         )
+        if self.items_failed or self.retries_performed:
+            text += (
+                f", {self.items_failed} dead-lettered "
+                f"(+{self.retries_performed} retries)"
+            )
+        return text
 
 
 class PipelineMonitor:
@@ -112,6 +120,9 @@ class PipelineMonitor:
             blocks=len(p.bb.blocks),
             blacklisted_keys=len(p.bb.blacklist),
             profiles_stored=len(p.lm.profiles),
+            # Supervised executors expose these; plain pipelines default to 0.
+            items_failed=getattr(p, "items_failed", 0),
+            retries_performed=getattr(p, "retries_performed", 0),
         )
         self.history.append(snap)
         if self.on_snapshot is not None:

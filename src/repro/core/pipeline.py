@@ -25,12 +25,19 @@ from repro.core.stages import (
     LoadManagementStage,
 )
 from repro.core.state import ERState
-from repro.types import EntityDescription, Match, StageTimings
+from repro.errors import ConfigurationError
+from repro.types import DeadLetter, EntityDescription, Match, StageTimings
 
 
 @dataclass
 class ERResult:
-    """Summary of a (partial) pipeline run."""
+    """Summary of a (partial) pipeline run.
+
+    ``items_failed`` / ``retries`` / ``dead_letters`` are populated by
+    executors running under supervision (the parallel frameworks, or
+    :meth:`StreamERPipeline.process_many` with ``on_error="dead_letter"``);
+    they stay at their zero defaults for fail-fast runs.
+    """
 
     entities_processed: int = 0
     matches: list[Match] = field(default_factory=list)
@@ -40,11 +47,19 @@ class ERResult:
     blocks_pruned: int = 0
     keys_ghosted: int = 0
     elapsed_seconds: float = 0.0
+    items_failed: int = 0
+    retries: int = 0
+    dead_letters: list[DeadLetter] = field(default_factory=list)
 
     @property
     def match_pairs(self) -> set[tuple]:
         """Canonical pair keys of all matches found."""
         return {m.key() for m in self.matches}
+
+    @property
+    def dead_letter_ids(self) -> set:
+        """Entity identifiers of all dead-lettered items."""
+        return {d.entity_id for d in self.dead_letters}
 
 
 class StreamERPipeline:
@@ -79,6 +94,9 @@ class StreamERPipeline:
         self.cl = ClassificationStage(cfg.classifier)
         self._stages = (self.dr, self.bb, self.bg, self.cg, self.cc, self.lm, self.co, self.cl)
         self._entities_processed = 0
+        self.items_failed = 0
+        self.retries_performed = 0
+        self.dead_letters: list[DeadLetter] = []
 
     # -- state access -------------------------------------------------
 
@@ -113,18 +131,48 @@ class StreamERPipeline:
             out = stage(out)
         return out  # type: ignore[return-value]
 
-    def process_many(self, entities: Iterable[EntityDescription]) -> ERResult:
-        """Process an increment; returns a summary over just that increment."""
+    def process_many(
+        self,
+        entities: Iterable[EntityDescription],
+        on_error: str = "raise",
+    ) -> ERResult:
+        """Process an increment; returns a summary over just that increment.
+
+        ``on_error="raise"`` (default) propagates any stage exception.
+        ``on_error="dead_letter"`` instead records the failing entity as a
+        :class:`~repro.types.DeadLetter` and keeps going — the streaming
+        posture, where one malformed description must not stop the feed.
+        Note the entity may already have mutated shared state (e.g. been
+        registered in some blocks) before failing; dead-lettering is a
+        survival guarantee, not a transactional rollback.
+        """
+        if on_error not in ("raise", "dead_letter"):
+            raise ConfigurationError(
+                f'on_error must be "raise" or "dead_letter", got {on_error!r}'
+            )
         start_generated = self.cg.generated
         start_retained = self.cc.retained
         start_pruned = self.bb.pruned_blocks
         start_ghosted = self.bg.ghosted_keys
+        start_failed = self.items_failed
         matches: list[Match] = []
+        dead: list[DeadLetter] = []
         count = 0
         wall_start = time.perf_counter()
         for entity in entities:
-            matches.extend(self.process(entity))
             count += 1
+            if on_error == "raise":
+                matches.extend(self.process(entity))
+                continue
+            try:
+                matches.extend(self.process(entity))
+            except Exception as exc:
+                letter = DeadLetter(
+                    stage="pipeline", entity_id=entity.eid, error=repr(exc)
+                )
+                dead.append(letter)
+                self.dead_letters.append(letter)
+                self.items_failed += 1
         elapsed = time.perf_counter() - wall_start
         return ERResult(
             entities_processed=count,
@@ -135,6 +183,8 @@ class StreamERPipeline:
             blocks_pruned=self.bb.pruned_blocks - start_pruned,
             keys_ghosted=self.bg.ghosted_keys - start_ghosted,
             elapsed_seconds=elapsed,
+            items_failed=self.items_failed - start_failed,
+            dead_letters=dead,
         )
 
     def stream(self, entities: Iterable[EntityDescription]) -> Iterator[tuple[EntityDescription, list[Match]]]:
@@ -155,4 +205,6 @@ class StreamERPipeline:
             blocks_pruned=self.bb.pruned_blocks,
             keys_ghosted=self.bg.ghosted_keys,
             elapsed_seconds=self.timings.total(),
+            items_failed=self.items_failed,
+            dead_letters=list(self.dead_letters),
         )

@@ -16,7 +16,21 @@ class UnknownProfileError(ReproError):
 
 
 class PipelineStoppedError(ReproError):
-    """An operation was attempted on a parallel pipeline that has shut down."""
+    """An operation was attempted on a parallel pipeline that has shut down.
+
+    Also raised when ``close()``/``join()`` are given a timeout and the
+    pipeline fails to drain in time; the message then carries a per-stage
+    liveness report (see ``ParallelERPipeline.liveness_report``).
+    """
+
+
+class InjectedFault(ReproError):
+    """A synthetic failure raised by the fault-injection harness.
+
+    Only :class:`repro.parallel.faults.FaultInjector` raises this; seeing it
+    outside a fault-injection run means an injector leaked into production
+    wiring.
+    """
 
 
 class DatasetError(ReproError):

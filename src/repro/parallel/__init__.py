@@ -1,4 +1,4 @@
-"""Task-parallel framework: allocation, thread executor, and simulator."""
+"""Task-parallel framework: allocation, executors, supervision, simulator."""
 
 from repro.parallel.allocation import (
     FIXED_STAGES,
@@ -8,8 +8,10 @@ from repro.parallel.allocation import (
     paper_example_times,
 )
 from repro.parallel.calibration import calibrate_service_model, default_simulator_config
+from repro.parallel.faults import FaultInjector, FaultPlan, FaultSpec, wrap_stages
 from repro.parallel.framework import ParallelERPipeline, ParallelRunResult
 from repro.parallel.mp_framework import MultiprocessERPipeline
+from repro.parallel.supervision import Supervisor, extract_entity_id, format_liveness
 from repro.parallel.simulator import (
     PipelineSimulator,
     ServiceModel,
@@ -28,6 +30,13 @@ __all__ = [
     "ParallelERPipeline",
     "ParallelRunResult",
     "MultiprocessERPipeline",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultSpec",
+    "wrap_stages",
+    "Supervisor",
+    "extract_entity_id",
+    "format_liveness",
     "calibrate_service_model",
     "default_simulator_config",
     "PipelineSimulator",

@@ -19,6 +19,18 @@ On CPython the GIL serializes pure-Python compute, so this executor
 demonstrates architecture and correctness rather than wall-clock speedup;
 the multi-core performance experiments run on the calibrated
 discrete-event simulator (:mod:`repro.parallel.simulator`).
+
+Robustness: every worker executes items under a
+:class:`~repro.parallel.supervision.Supervisor` — a raising stage function
+no longer kills the worker; the item is retried per the
+:class:`~repro.core.config.SupervisionPolicy` and then routed to the
+dead-letter queue surfaced on :class:`ParallelRunResult`.  Worker loops
+shut down via ``try/finally``, so even a catastrophic worker death still
+decrements the pool's active count and forwards the ``_STOP`` sentinels
+downstream instead of deadlocking ``join()``.  ``close()``/``join()``
+accept a timeout and raise :class:`~repro.errors.PipelineStoppedError`
+with a per-stage liveness report when the pipeline fails to drain.  See
+``docs/robustness.md``.
 """
 
 from __future__ import annotations
@@ -29,7 +41,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Iterable
 
-from repro.core.config import StreamERConfig
+from repro.core.config import StreamERConfig, SupervisionPolicy
 from repro.core.stages import (
     STAGE_ORDER,
     BlockBuildingStage,
@@ -43,23 +55,39 @@ from repro.core.stages import (
 )
 from repro.errors import PipelineStoppedError
 from repro.parallel.allocation import allocate_processes, paper_example_times
-from repro.types import EntityDescription, Match
+from repro.parallel.faults import FaultInjector, FaultPlan, wrap_stages
+from repro.parallel.supervision import Supervisor, format_liveness
+from repro.types import DeadLetter, EntityDescription, Match
 
 _STOP = object()
 
 
 @dataclass
 class ParallelRunResult:
-    """Outcome of a parallel run."""
+    """Outcome of a parallel run.
+
+    ``entities_processed`` counts every submitted entity, including the
+    ``items_failed`` that exhausted supervision and landed in
+    ``dead_letters`` (one record per failed item, in failure order);
+    ``retries`` is the total number of supervised re-executions performed.
+    """
 
     entities_processed: int
     matches: list[Match]
     elapsed_seconds: float
     latencies: list[float] = field(default_factory=list)
+    items_failed: int = 0
+    retries: int = 0
+    dead_letters: list[DeadLetter] = field(default_factory=list)
 
     @property
     def match_pairs(self) -> set[tuple]:
         return {m.key() for m in self.matches}
+
+    @property
+    def dead_letter_ids(self) -> set:
+        """Entity identifiers of all dead-lettered items."""
+        return {d.entity_id for d in self.dead_letters}
 
 
 class _StageRunner:
@@ -75,6 +103,7 @@ class _StageRunner:
         batch_size: int,
         batch_delay: float,
         downstream_workers: int,
+        supervisor: Supervisor,
         on_result=None,
     ) -> None:
         self.name = name
@@ -85,6 +114,7 @@ class _StageRunner:
         self.batch_size = batch_size
         self.batch_delay = batch_delay
         self.downstream_workers = downstream_workers
+        self.supervisor = supervisor
         self.on_result = on_result
         self._active = workers
         self._lock = threading.Lock()
@@ -119,17 +149,27 @@ class _StageRunner:
         return batch, False
 
     def _run(self) -> None:
-        while True:
-            batch, saw_stop = self._collect_batch()
-            for enqueue_time, payload in batch:
-                result = self.fn(payload)
-                if self.out_queue is not None:
-                    self.out_queue.put((enqueue_time, result))
-                elif self.on_result is not None:
-                    self.on_result(enqueue_time, result)
-            if saw_stop:
-                self._shutdown()
-                return
+        # The finally is the anti-deadlock guarantee: no matter how this
+        # worker exits — clean _STOP, or an exception escaping the
+        # supervisor's own machinery — _active is decremented and the
+        # downstream sentinels are forwarded by whichever worker is last.
+        try:
+            while True:
+                batch, saw_stop = self._collect_batch()
+                for enqueue_time, payload in batch:
+                    ok, result = self.supervisor.execute(
+                        self.name, self.fn, payload
+                    )
+                    if not ok:
+                        continue  # dead-lettered; surviving items flow on
+                    if self.out_queue is not None:
+                        self.out_queue.put((enqueue_time, result))
+                    elif self.on_result is not None:
+                        self.on_result(enqueue_time, result)
+                if saw_stop:
+                    return
+        finally:
+            self._shutdown()
 
     def _shutdown(self) -> None:
         with self._lock:
@@ -139,9 +179,15 @@ class _StageRunner:
             for _ in range(self.downstream_workers):
                 self.out_queue.put(_STOP)
 
-    def join(self) -> None:
+    def alive(self) -> int:
+        return sum(1 for thread in self.threads if thread.is_alive())
+
+    def join(self, deadline: float | None = None) -> None:
         for thread in self.threads:
-            thread.join()
+            if deadline is None:
+                thread.join()
+            else:
+                thread.join(max(0.0, deadline - time.perf_counter()))
 
 
 class ParallelERPipeline:
@@ -164,6 +210,14 @@ class ParallelERPipeline:
         paper's MPP uses (100, 10 ms).
     queue_capacity:
         Bound of every inter-stage queue (backpressure).
+    supervision:
+        Retry/dead-letter policy applied to every stage (default:
+        :class:`~repro.core.config.SupervisionPolicy` with 2 retries and
+        no retry for ``bb+bp``).
+    faults:
+        Optional fault-injection plan (stage name →
+        :class:`~repro.parallel.faults.FaultSpec`); the wrapped injectors
+        are exposed as ``fault_injectors`` for inspection.
     """
 
     def __init__(
@@ -174,8 +228,11 @@ class ParallelERPipeline:
         micro_batch_size: int = 1,
         micro_batch_delay: float = 0.01,
         queue_capacity: int = 1024,
+        supervision: SupervisionPolicy | None = None,
+        faults: FaultPlan | None = None,
     ) -> None:
         self.config = config or StreamERConfig()
+        self.supervisor = Supervisor(supervision)
         self.allocation = allocate_processes(
             stage_seconds or paper_example_times(), processes
         )
@@ -206,6 +263,9 @@ class ParallelERPipeline:
             "co": ComparisonStage(cfg.comparator),
             "cl": classify_locked,
         }
+        self.fault_injectors: dict[str, FaultInjector] = wrap_stages(
+            stage_fns, faults
+        )
 
         self._results_lock = threading.Lock()
         self._matches: list[Match] = []
@@ -237,6 +297,7 @@ class ParallelERPipeline:
                     batch_size=micro_batch_size,
                     batch_delay=micro_batch_delay,
                     downstream_workers=downstream,
+                    supervisor=self.supervisor,
                     on_result=on_final if out_queue is None else None,
                 )
             )
@@ -259,31 +320,102 @@ class ParallelERPipeline:
         self._entities_in += 1
         self._input.put((time.perf_counter(), entity))
 
-    def close(self) -> None:
-        """Signal end of input; safe to call once."""
-        if not self._closed:
-            self._closed = True
-            self.start()
-            for _ in range(self._runners[0].workers):
-                self._input.put(_STOP)
+    def close(self, timeout: float | None = None) -> None:
+        """Signal end of input; idempotent.
 
-    def join(self) -> None:
+        With a ``timeout``, a saturated input queue (e.g. every first-stage
+        worker wedged on a pathological item) raises
+        :class:`PipelineStoppedError` with a liveness report instead of
+        blocking forever.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        self.start()
+        for _ in range(self._runners[0].workers):
+            try:
+                self._input.put(_STOP, timeout=timeout)
+            except queue.Full:
+                raise PipelineStoppedError(
+                    f"close() could not deliver stop sentinels within "
+                    f"{timeout}s; stage liveness:\n"
+                    + format_liveness(self.liveness_report())
+                ) from None
+
+    def join(self, timeout: float | None = None) -> None:
+        """Wait for all workers to drain and exit.
+
+        With a ``timeout`` (seconds, end to end), raises
+        :class:`PipelineStoppedError` carrying a per-stage liveness report
+        if any worker is still alive when it expires — the diagnosis a
+        silently deadlocked pipeline used to withhold.
+        """
+        if timeout is None:
+            for runner in self._runners:
+                runner.join()
+            return
+        deadline = time.perf_counter() + timeout
         for runner in self._runners:
-            runner.join()
+            runner.join(deadline)
+        stuck = [r.name for r in self._runners if r.alive() > 0]
+        if stuck:
+            raise PipelineStoppedError(
+                f"join() timed out after {timeout}s with live stages "
+                f"{stuck}; stage liveness:\n"
+                + format_liveness(self.liveness_report())
+            )
+
+    # -- observability ----------------------------------------------------
+
+    def liveness_report(self) -> dict[str, dict[str, int]]:
+        """Per-stage snapshot: thread counts, shutdown state, queue depth."""
+        return {
+            runner.name: {
+                "workers": runner.workers,
+                "alive": runner.alive(),
+                "active": max(runner._active, 0),
+                "queued": runner.in_queue.qsize(),
+            }
+            for runner in self._runners
+        }
+
+    @property
+    def items_failed(self) -> int:
+        return self.supervisor.items_failed
+
+    @property
+    def retries_performed(self) -> int:
+        return self.supervisor.retries_performed
+
+    @property
+    def dead_letters(self) -> list[DeadLetter]:
+        return list(self.supervisor.dead_letters)
 
     # -- one-shot convenience --------------------------------------------
 
-    def run(self, entities: Iterable[EntityDescription]) -> ParallelRunResult:
-        """Process a finite input end to end and wait for completion."""
+    def run(
+        self,
+        entities: Iterable[EntityDescription],
+        timeout: float | None = None,
+    ) -> ParallelRunResult:
+        """Process a finite input end to end and wait for completion.
+
+        ``timeout`` bounds the shutdown (applied to both ``close`` and
+        ``join``); a pipeline that cannot drain raises
+        :class:`PipelineStoppedError` instead of hanging the caller.
+        """
         start = time.perf_counter()
         for entity in entities:
             self.submit(entity)
-        self.close()
-        self.join()
+        self.close(timeout=timeout)
+        self.join(timeout=timeout)
         elapsed = time.perf_counter() - start
         return ParallelRunResult(
             entities_processed=self._entities_in,
             matches=list(self._matches),
             elapsed_seconds=elapsed,
             latencies=list(self._latencies),
+            items_failed=self.supervisor.items_failed,
+            retries=self.supervisor.retries_performed,
+            dead_letters=list(self.supervisor.dead_letters),
         )

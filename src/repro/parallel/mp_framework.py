@@ -16,6 +16,14 @@ partitioned freely.
 
 Results are identical to the sequential pipeline (the same comparisons are
 scored; only scoring order varies, and the match store de-duplicates).
+
+Robustness mirrors the thread framework: the per-entity front is executed
+under a :class:`~repro.parallel.supervision.Supervisor` (a poison entity is
+dead-lettered, the stream keeps flowing); worker processes guard every
+pair individually and report failures back as data, so a raising comparator
+cannot poison ``pool.imap``; failed pairs are retried in the parent per the
+:class:`~repro.core.config.SupervisionPolicy` before being dead-lettered on
+the returned :class:`~repro.core.pipeline.ERResult`.
 """
 
 from __future__ import annotations
@@ -26,7 +34,7 @@ from dataclasses import dataclass, field
 from typing import Iterable, Iterator
 
 from repro.comparison.comparator import TokenSetComparator
-from repro.core.config import StreamERConfig
+from repro.core.config import StreamERConfig, SupervisionPolicy
 from repro.core.pipeline import ERResult
 from repro.core.stages import (
     BlockBuildingStage,
@@ -39,25 +47,64 @@ from repro.core.stages import (
     ScoredComparisons,
 )
 from repro.errors import ConfigurationError
-from repro.types import Comparison, EntityDescription, Match, Profile, ScoredComparison
+from repro.parallel.faults import FaultInjector, FaultPlan, FaultSpec
+from repro.parallel.supervision import Supervisor
+from repro.types import (
+    Comparison,
+    EntityDescription,
+    Match,
+    Profile,
+    ScoredComparison,
+    pair_key,
+)
+
+#: Front stages executed in the parent, in order (``f_dr`` .. ``f_lm``).
+_FRONT_STAGES: tuple[str, ...] = ("dr", "bb+bp", "bg", "cg", "cc", "lm")
 
 # Worker-process state, installed once per worker by the pool initializer.
 _worker_comparator: TokenSetComparator | None = None
+_worker_injector: FaultInjector | None = None
 
 
-def _init_worker(comparator: TokenSetComparator) -> None:
-    global _worker_comparator
+def _init_worker(
+    comparator: TokenSetComparator, fault_spec: FaultSpec | None = None
+) -> None:
+    global _worker_comparator, _worker_injector
     _worker_comparator = comparator
+    if fault_spec is None:
+        _worker_injector = None
+    else:
+        # Built inside the worker, so the wrapped lambdas never cross the
+        # process boundary; decisions are key-hashed, hence identical in
+        # every worker regardless of how chunks are distributed.
+        _worker_injector = FaultInjector(
+            lambda pair: _worker_comparator.score(pair[0], pair[1]),  # type: ignore[union-attr]
+            fault_spec,
+            stage="co",
+            key_fn=lambda pair: pair_key(pair[0].eid, pair[1].eid),
+        )
 
 
 def _score_chunk(
     chunk: list[tuple[Profile, Profile]],
-) -> list[float]:
-    """Score one micro-batch of profile pairs in a worker process."""
+) -> list[tuple[float | None, str | None]]:
+    """Score one micro-batch of profile pairs in a worker process.
+
+    Each pair is guarded individually and failures travel back as
+    ``(None, error_repr)`` — data, not exceptions — so one poison pair
+    cannot tear down ``pool.imap`` and lose the whole run.
+    """
     assert _worker_comparator is not None, "worker not initialized"
-    return [
-        _worker_comparator.score(left, right) for left, right in chunk
-    ]
+    out: list[tuple[float | None, str | None]] = []
+    for left, right in chunk:
+        try:
+            if _worker_injector is not None:
+                out.append((_worker_injector((left, right)), None))
+            else:
+                out.append((_worker_comparator.score(left, right), None))
+        except Exception as exc:
+            out.append((None, repr(exc)))
+    return out
 
 
 @dataclass
@@ -81,6 +128,14 @@ class MultiprocessERPipeline:
     chunk_size:
         Comparisons per task message; larger amortizes IPC, smaller
         improves latency and load balance.
+    supervision:
+        Retry/dead-letter policy.  Front-stage failures dead-letter the
+        entity; scoring failures are retried *in the parent* (with the
+        parent's comparator) and then dead-letter the pair.
+    faults:
+        Optional fault-injection plan.  A spec for ``"co"`` is shipped to
+        the worker processes (it must stay picklable); specs for front
+        stages wrap the parent-side stage callables.
     """
 
     def __init__(
@@ -88,6 +143,8 @@ class MultiprocessERPipeline:
         config: StreamERConfig | None = None,
         workers: int = 2,
         chunk_size: int = 256,
+        supervision: SupervisionPolicy | None = None,
+        faults: FaultPlan | None = None,
     ) -> None:
         if workers < 1:
             raise ConfigurationError("workers must be >= 1")
@@ -96,6 +153,7 @@ class MultiprocessERPipeline:
         self.config = config or StreamERConfig()
         self.workers = workers
         self.chunk_size = chunk_size
+        self.supervisor = Supervisor(supervision)
         cfg = self.config
         self.dr = DataReadingStage(cfg.profile_builder)
         self.bb = BlockBuildingStage(alpha=cfg.alpha, enabled=cfg.enable_block_cleaning)
@@ -104,16 +162,43 @@ class MultiprocessERPipeline:
         self.cc = ComparisonCleaningStage(enabled=cfg.enable_comparison_cleaning)
         self.lm = LoadManagementStage()
         self.cl = ClassificationStage(cfg.classifier)
+        self._fns: dict[str, object] = {
+            "dr": self.dr, "bb+bp": self.bb, "bg": self.bg, "cg": self.cg,
+            "cc": self.cc, "lm": self.lm, "cl": self.cl,
+        }
+        faults = dict(faults) if faults else {}
+        self._worker_fault_spec = faults.pop("co", None)
+        unknown = [name for name in faults if name not in self._fns]
+        if unknown:
+            raise ConfigurationError(
+                f"fault plan names unknown stages {unknown}"
+            )
+        self.fault_injectors: dict[str, FaultInjector] = {}
+        for name, spec in faults.items():
+            injector = FaultInjector(self._fns[name], spec, stage=name)  # type: ignore[arg-type]
+            self._fns[name] = injector
+            self.fault_injectors[name] = injector
 
     def _front(
         self, entities: Iterable[EntityDescription]
     ) -> Iterator[list[Comparison]]:
-        """Run dr..lm in the parent, yielding per-entity comparison lists."""
+        """Run dr..lm in the parent, yielding per-entity comparison lists.
+
+        Each stage call runs under the supervisor: a poison entity is
+        dead-lettered at the stage that rejected it and the stream keeps
+        flowing.
+        """
         for entity in entities:
-            profile = self.dr(entity)
-            blocked = self.bg(self.bb(profile))
-            cleaned = self.cc(self.cg(blocked))
-            yield self.lm(cleaned).comparisons
+            message: object = entity
+            ok = True
+            for name in _FRONT_STAGES:
+                ok, message = self.supervisor.execute(
+                    name, self._fns[name], message  # type: ignore[arg-type]
+                )
+                if not ok:
+                    break
+            if ok:
+                yield message.comparisons  # type: ignore[union-attr]
 
     def _chunks(
         self, entities: Iterable[EntityDescription]
@@ -143,7 +228,7 @@ class MultiprocessERPipeline:
         with ctx.Pool(
             processes=self.workers,
             initializer=_init_worker,
-            initargs=(self.config.comparator,),
+            initargs=(self.config.comparator, self._worker_fault_spec),
         ) as pool:
             chunk_stream = self._chunks(counted(entities))
             pair_chunks: list[list[Comparison]] = []
@@ -156,16 +241,24 @@ class MultiprocessERPipeline:
             for index, scores in enumerate(pool.imap(_score_chunk, payloads())):
                 chunk = pair_chunks[index]
                 pair_chunks[index] = []  # release memory as results drain
-                scored = [
-                    ScoredComparison(comparison=c, similarity=s)
-                    for c, s in zip(chunk, scores)
-                ]
+                scored = []
+                for comparison, (score, error) in zip(chunk, scores):
+                    if error is not None:
+                        score = self._rescore(comparison, error)
+                        if score is None:
+                            continue  # pair dead-lettered
+                    scored.append(
+                        ScoredComparison(comparison=comparison, similarity=score)
+                    )
                 # Classification in the parent (owner of the match store).
                 anchor = chunk[0].left if chunk else None
-                found = self.cl(
-                    ScoredComparisons(profile=anchor, scored=scored)  # type: ignore[arg-type]
+                ok, found = self.supervisor.execute(
+                    "cl",
+                    self._fns["cl"],  # type: ignore[arg-type]
+                    ScoredComparisons(profile=anchor, scored=scored),  # type: ignore[arg-type]
                 )
-                matches.extend(found)
+                if ok:
+                    matches.extend(found)
 
         return ERResult(
             entities_processed=count_in[0],
@@ -175,4 +268,26 @@ class MultiprocessERPipeline:
             blocks_pruned=self.bb.pruned_blocks,
             keys_ghosted=self.bg.ghosted_keys,
             elapsed_seconds=time.perf_counter() - start,
+            items_failed=self.supervisor.items_failed,
+            retries=self.supervisor.retries_performed,
+            dead_letters=list(self.supervisor.dead_letters),
         )
+
+    def _rescore(self, comparison: Comparison, first_error: str) -> float | None:
+        """Retry a worker-failed pair in the parent; dead-letter on exhaust.
+
+        The parent retries with its own (uninjected) comparator, so
+        transient worker trouble heals here while genuinely poison pairs
+        fail again and land in the dead-letter queue.
+        """
+        attempts = 1
+        last_error = first_error
+        for _ in range(self.supervisor.policy.retries_for("co")):
+            self.supervisor.record_retry("co")
+            attempts += 1
+            try:
+                return self.config.comparator.score(comparison.left, comparison.right)
+            except Exception as exc:
+                last_error = repr(exc)
+        self.supervisor.record_failure("co", comparison, last_error, attempts)
+        return None

@@ -50,6 +50,13 @@ class ServiceModel:
     variation ``cv``; a small fraction of entities (``spike_probability``)
     are ``spike_factor`` times slower — the CPU-intensive stream segments
     behind the paper's latency peaks.
+
+    ``failure_probability`` injects faults: each (item, stage) service
+    independently fails with this probability (deterministic in the seed,
+    like the service times), and the item is dead-lettered at that stage —
+    it consumed the worker for the full sampled service time but is not
+    forwarded downstream.  This re-runs the Fig. 11/12 experiments under
+    poison-entity conditions; see ``docs/robustness.md``.
     """
 
     mean_seconds: dict[str, float]
@@ -57,11 +64,21 @@ class ServiceModel:
     spike_probability: float = 0.005
     spike_factor: float = 12.0
     seed: int = 2021
+    failure_probability: float = 0.0
 
     def __post_init__(self) -> None:
         missing = [s for s in STAGE_ORDER if s not in self.mean_seconds]
         if missing:
             raise ConfigurationError(f"missing service means for stages: {missing}")
+        if not 0.0 <= self.failure_probability <= 1.0:
+            raise ConfigurationError("failure_probability must be in [0, 1]")
+
+    def fails(self, item: int, stage: str) -> bool:
+        """Deterministic fault verdict for (item, stage)."""
+        if self.failure_probability <= 0.0:
+            return False
+        key = zlib.crc32(f"{self.seed}:{item}:{stage}:fault".encode())
+        return random.Random(key).random() < self.failure_probability
 
     def mean_total(self) -> float:
         """Mean end-to-end work per entity (the sequential per-item cost)."""
@@ -125,7 +142,12 @@ class SimulatorConfig:
 
 @dataclass
 class SimulationResult:
-    """Outcome of one simulated run."""
+    """Outcome of one simulated run.
+
+    With a faulty :class:`ServiceModel`, ``dead_letters`` lists
+    ``(item, stage)`` for every item dropped mid-pipeline; such items have
+    no completion time and no latency.
+    """
 
     makespan: float
     completion_times: list[float]
@@ -133,6 +155,8 @@ class SimulationResult:
     admitted: int
     stage_busy_seconds: dict[str, float] = field(default_factory=dict)
     trace: "SimulationTrace | None" = None
+    items_failed: int = 0
+    dead_letters: list[tuple[int, str]] = field(default_factory=list)
 
     @property
     def throughput(self) -> float:
@@ -349,6 +373,7 @@ class PipelineSimulator:
                         progress = True
 
         processed = 0
+        dead_letters: list[tuple[int, str]] = []
         while events:
             t, _, kind, payload = heapq.heappop(events)
             clock = t
@@ -357,6 +382,17 @@ class PipelineSimulator:
             else:  # "done"
                 stage, batch = payload  # type: ignore[misc]
                 cores_busy -= 1
+                if self.service.failure_probability > 0.0:
+                    # Failed items consumed their service time but leave the
+                    # pipeline here (dead-lettered) instead of moving on.
+                    failed = {
+                        item for item in batch if self.service.fails(item, stage.name)
+                    }
+                    if failed:
+                        dead_letters.extend(
+                            (item, stage.name) for item in batch if item in failed
+                        )
+                        batch = [item for item in batch if item not in failed]
                 if stage.next is None:
                     stage.busy -= 1
                     for item in batch:
@@ -392,6 +428,8 @@ class PipelineSimulator:
                 if trace
                 else None
             ),
+            items_failed=len(dead_letters),
+            dead_letters=dead_letters,
         )
 
     # Convenience runners -------------------------------------------------

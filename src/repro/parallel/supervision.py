@@ -1,0 +1,130 @@
+"""Stage supervision: retries, dead-letter routing, liveness reporting.
+
+The paper's framework (Fig. 5) assumes every stage function returns; real
+dynamic-data deployments see poison entities — malformed descriptions that
+make a stage raise.  Without supervision one raising worker dies silently,
+its pool never forwards the ``_STOP`` sentinels, and ``join()`` deadlocks.
+The :class:`Supervisor` gives every worker a uniform failure protocol:
+
+* each item is executed under the :class:`~repro.core.config.SupervisionPolicy`
+  (bounded retries with exponential backoff, skipped for stages whose state
+  mutation is not idempotent);
+* items that exhaust their retry budget become :class:`~repro.types.DeadLetter`
+  records in a thread-safe queue surfaced on the run result — the pipeline
+  keeps flowing and the surviving items are unaffected;
+* counters (retries performed, failures per stage) are exposed for
+  monitoring snapshots.
+
+The module is executor-agnostic: the thread framework, the multiprocess
+executor, and the sequential pipeline's dead-letter mode all route failures
+through the same records.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable
+
+from repro.core.config import SupervisionPolicy
+from repro.types import DeadLetter, EntityId, pair_key
+
+
+def extract_entity_id(payload: object) -> EntityId | None:
+    """Best-effort entity identifier of any inter-stage message.
+
+    Every message type of the pipeline either *is* the entity
+    (``EntityDescription`` / ``Profile``, both carrying ``eid``) or wraps the
+    anchoring profile (``BlockedEntity`` … ``ScoredComparisons``, carrying
+    ``profile.eid``).  Unknown payloads yield ``None`` rather than raising —
+    the supervisor must never fail while recording a failure.
+    """
+    eid = getattr(payload, "eid", None)
+    if eid is not None:
+        return eid
+    profile = getattr(payload, "profile", None)
+    if profile is not None:
+        return getattr(profile, "eid", None)
+    left = getattr(payload, "left", None)
+    right = getattr(payload, "right", None)
+    if left is not None and right is not None:
+        # A Comparison: identify the dead letter by its canonical pair key.
+        lid, rid = getattr(left, "eid", None), getattr(right, "eid", None)
+        if lid is not None and rid is not None:
+            return pair_key(lid, rid)
+    return None
+
+
+class Supervisor:
+    """Thread-safe failure collector shared by all workers of one pipeline."""
+
+    def __init__(self, policy: SupervisionPolicy | None = None) -> None:
+        self.policy = policy or SupervisionPolicy()
+        self._lock = threading.Lock()
+        self.dead_letters: list[DeadLetter] = []
+        self.retries_performed = 0
+        self.failures_by_stage: dict[str, int] = {}
+
+    @property
+    def items_failed(self) -> int:
+        return len(self.dead_letters)
+
+    def record_retry(self, stage: str) -> None:
+        with self._lock:
+            self.retries_performed += 1
+
+    def record_failure(
+        self, stage: str, payload: object, error: BaseException | str, attempts: int
+    ) -> DeadLetter:
+        """Route one exhausted item to the dead-letter queue."""
+        letter = DeadLetter(
+            stage=stage,
+            entity_id=extract_entity_id(payload),
+            error=error if isinstance(error, str) else repr(error),
+            attempts=attempts,
+        )
+        with self._lock:
+            self.dead_letters.append(letter)
+            self.failures_by_stage[stage] = self.failures_by_stage.get(stage, 0) + 1
+        return letter
+
+    def execute(
+        self, stage: str, fn: Callable[[object], object], payload: object
+    ) -> tuple[bool, object]:
+        """Run ``fn(payload)`` under the policy.
+
+        Returns ``(True, result)`` on (eventual) success, or
+        ``(False, None)`` after the item was dead-lettered.  Never raises
+        from a stage-function failure — that is the whole point.
+        """
+        retries_allowed = self.policy.retries_for(stage)
+        attempt = 0
+        while True:
+            attempt += 1
+            try:
+                return True, fn(payload)
+            except Exception as exc:
+                if attempt <= retries_allowed:
+                    self.record_retry(stage)
+                    delay = self.policy.backoff_for(attempt)
+                    if delay > 0:
+                        time.sleep(delay)
+                    continue
+                self.record_failure(stage, payload, exc, attempt)
+                return False, None
+
+
+def format_liveness(report: dict[str, dict[str, int]]) -> str:
+    """Render a per-stage liveness report into one diagnostic line per stage.
+
+    ``report`` maps stage name → ``{"workers", "alive", "active", "queued"}``
+    (see ``ParallelERPipeline.liveness_report``).  Used in the message of
+    :class:`~repro.errors.PipelineStoppedError` when a timed ``join`` fires.
+    """
+    lines = []
+    for stage, stats in report.items():
+        lines.append(
+            f"  {stage}: {stats['alive']}/{stats['workers']} threads alive, "
+            f"{stats['active']} not yet shut down, {stats['queued']} queued"
+        )
+    return "\n".join(lines)

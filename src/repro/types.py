@@ -121,6 +121,23 @@ class Match:
         return pair_key(self.left, self.right)
 
 
+@dataclass(frozen=True, slots=True)
+class DeadLetter:
+    """An item that exhausted supervision and was routed out of the pipeline.
+
+    ``entity_id`` is the identifier extracted from the failing payload (or
+    ``None`` when no identifier could be derived); ``error`` is the ``repr``
+    of the last exception — a string, so dead letters stay picklable across
+    process boundaries.  ``attempts`` counts every execution attempt,
+    including retries.
+    """
+
+    stage: str
+    entity_id: EntityId | None
+    error: str
+    attempts: int = 1
+
+
 @dataclass(slots=True)
 class StageTimings:
     """Accumulated wall-clock seconds spent in each pipeline stage."""

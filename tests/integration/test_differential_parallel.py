@@ -1,0 +1,225 @@
+"""Differential correctness: SEQ vs PP vs MPP, with and without faults.
+
+The same seeded entity stream is run through the sequential
+``StreamERPipeline``, the thread-parallel ``ParallelERPipeline`` (PP with
+``micro_batch_size=1``, MPP with larger batches), and the
+``MultiprocessERPipeline``; the harness asserts match-set equivalence —
+exactly, when no faults are injected, and *modulo the dead-lettered items*
+under fault injection:
+
+* faults at the ingest stage (``dr``) fire before the entity touches any
+  shared state, so the parallel run must equal a sequential run over just
+  the surviving entities;
+* faults at the comparison stage (``co``) lose exactly the matches whose
+  *later-arriving* member was dead-lettered (a match is always discovered
+  while processing the later entity of the pair), so the expected set is
+  computable from the sequential run plus the dead-letter ids.
+
+Every parallel run carries a timeout so a shutdown regression fails fast.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.classification import OracleClassifier
+from repro.core import StreamERConfig, StreamERPipeline, SupervisionPolicy
+from repro.datasets import DatasetSpec, generate
+from repro.parallel import FaultSpec, MultiprocessERPipeline, ParallelERPipeline
+
+RUN_TIMEOUT = 120.0
+
+
+def config_for(dataset) -> StreamERConfig:
+    return StreamERConfig(
+        alpha=StreamERConfig.alpha_for(len(dataset), 0.05),
+        beta=0.05,
+        clean_clean=dataset.clean_clean,
+        classifier=OracleClassifier.from_pairs(dataset.ground_truth),
+    )
+
+
+def sequential_pairs(dataset, entities=None) -> set:
+    pipeline = StreamERPipeline(config_for(dataset), instrument=False)
+    pipeline.process_many(dataset.stream() if entities is None else entities)
+    return pipeline.cl.matches.pairs()
+
+
+@pytest.fixture(scope="module", params=[7, 21])
+def seeded_dirty(request):
+    spec = DatasetSpec(
+        name=f"diff-dirty-{request.param}", kind="dirty", size=150, matches=90,
+        avg_attributes=4.0, heterogeneity=0.3, vocab_rare=2000, seed=request.param,
+    )
+    return generate(spec)
+
+
+@pytest.fixture(scope="module")
+def seeded_clean():
+    spec = DatasetSpec(
+        name="diff-clean", kind="clean-clean", size=(80, 90), matches=60,
+        avg_attributes=4.0, heterogeneity=0.4, vocab_rare=2000, seed=13,
+    )
+    return generate(spec)
+
+
+class TestFaultFreeEquivalence:
+    """SEQ == PP == MPP == multiprocess on identical seeded streams."""
+
+    @pytest.mark.parametrize("micro_batch_size", [1, 25, 100])
+    @pytest.mark.parametrize("processes", [8, 16])
+    def test_thread_framework_dirty(self, seeded_dirty, micro_batch_size, processes):
+        expected = sequential_pairs(seeded_dirty)
+        parallel = ParallelERPipeline(
+            config_for(seeded_dirty),
+            processes=processes,
+            micro_batch_size=micro_batch_size,
+        )
+        result = parallel.run(seeded_dirty.stream(), timeout=RUN_TIMEOUT)
+        assert result.match_pairs == expected
+        assert result.items_failed == 0
+        assert result.entities_processed == len(seeded_dirty)
+
+    @pytest.mark.parametrize("micro_batch_size", [1, 50])
+    def test_thread_framework_clean_clean(self, seeded_clean, micro_batch_size):
+        expected = sequential_pairs(seeded_clean)
+        parallel = ParallelERPipeline(
+            config_for(seeded_clean), processes=12, micro_batch_size=micro_batch_size
+        )
+        result = parallel.run(seeded_clean.stream(), timeout=RUN_TIMEOUT)
+        assert result.match_pairs == expected
+
+    @pytest.mark.parametrize("chunk_size", [64, 512])
+    def test_multiprocess_framework(self, seeded_dirty, chunk_size):
+        expected = sequential_pairs(seeded_dirty)
+        mp = MultiprocessERPipeline(
+            config_for(seeded_dirty), workers=2, chunk_size=chunk_size
+        )
+        result = mp.run(seeded_dirty.stream())
+        assert result.match_pairs == expected
+        assert result.items_failed == 0
+
+
+class TestFaultsAtIngest:
+    """Dead letters at ``dr`` never touch shared state: the surviving items
+    must resolve exactly as a sequential run over the surviving stream."""
+
+    @pytest.mark.parametrize("micro_batch_size", [1, 25])
+    @pytest.mark.parametrize("processes", [8, 16])
+    def test_thread_framework(self, seeded_dirty, micro_batch_size, processes):
+        parallel = ParallelERPipeline(
+            config_for(seeded_dirty),
+            processes=processes,
+            micro_batch_size=micro_batch_size,
+            supervision=SupervisionPolicy.none(),
+            faults={"dr": FaultSpec(probability=0.2, seed=99)},
+        )
+        result = parallel.run(seeded_dirty.stream(), timeout=RUN_TIMEOUT)
+        dead = result.dead_letter_ids
+        assert 0 < len(dead) < len(seeded_dirty)
+        survivors = [e for e in seeded_dirty.stream() if e.eid not in dead]
+        assert result.match_pairs == sequential_pairs(seeded_dirty, survivors)
+
+    def test_thread_framework_clean_clean(self, seeded_clean):
+        parallel = ParallelERPipeline(
+            config_for(seeded_clean),
+            processes=12,
+            supervision=SupervisionPolicy.none(),
+            faults={"dr": FaultSpec(probability=0.2, seed=4)},
+        )
+        result = parallel.run(seeded_clean.stream(), timeout=RUN_TIMEOUT)
+        dead = result.dead_letter_ids
+        assert dead
+        survivors = [e for e in seeded_clean.stream() if e.eid not in dead]
+        assert result.match_pairs == sequential_pairs(seeded_clean, survivors)
+
+    def test_multiprocess_framework(self, seeded_dirty):
+        mp = MultiprocessERPipeline(
+            config_for(seeded_dirty),
+            workers=2,
+            chunk_size=64,
+            supervision=SupervisionPolicy.none(),
+            faults={"dr": FaultSpec(probability=0.2, seed=99)},
+        )
+        result = mp.run(seeded_dirty.stream())
+        dead = result.dead_letter_ids
+        assert dead
+        survivors = [e for e in seeded_dirty.stream() if e.eid not in dead]
+        assert result.match_pairs == sequential_pairs(seeded_dirty, survivors)
+
+    def test_same_seed_same_dead_set_across_variants(self, seeded_dirty):
+        """Injection is keyed on (seed, stage, entity), not on scheduling."""
+        def dead_ids(micro_batch_size, processes):
+            pipeline = ParallelERPipeline(
+                config_for(seeded_dirty),
+                processes=processes,
+                micro_batch_size=micro_batch_size,
+                supervision=SupervisionPolicy.none(),
+                faults={"dr": FaultSpec(probability=0.25, seed=42)},
+            )
+            return pipeline.run(seeded_dirty.stream(), timeout=RUN_TIMEOUT).dead_letter_ids
+
+        assert dead_ids(1, 8) == dead_ids(25, 16)
+
+
+class TestFaultsAtComparison:
+    """An entity dead-lettered at ``co`` already registered its blocks, so
+    other entities still resolve against it; only the matches anchored at
+    the dead entity (its pairings with *earlier* arrivals) are lost."""
+
+    def _expected(self, dataset, dead: set) -> set:
+        arrival = {e.eid: i for i, e in enumerate(dataset.stream())}
+        expected = set()
+        for pair in sequential_pairs(dataset):
+            later = max(pair, key=lambda eid: arrival[eid])
+            if later not in dead:
+                expected.add(pair)
+        return expected
+
+    @pytest.mark.parametrize("micro_batch_size", [1, 25])
+    def test_thread_framework(self, seeded_dirty, micro_batch_size):
+        parallel = ParallelERPipeline(
+            config_for(seeded_dirty),
+            processes=12,
+            micro_batch_size=micro_batch_size,
+            supervision=SupervisionPolicy.none(),
+            faults={"co": FaultSpec(probability=0.3, seed=17)},
+        )
+        result = parallel.run(seeded_dirty.stream(), timeout=RUN_TIMEOUT)
+        dead = result.dead_letter_ids
+        assert dead
+        assert all(d.stage == "co" for d in result.dead_letters)
+        assert result.match_pairs == self._expected(seeded_dirty, dead)
+
+    def test_multiprocess_framework_pair_level(self, seeded_dirty):
+        """mp dead letters are *pairs*: expected = sequential minus them."""
+        mp = MultiprocessERPipeline(
+            config_for(seeded_dirty),
+            workers=2,
+            chunk_size=64,
+            supervision=SupervisionPolicy.none(),
+            faults={"co": FaultSpec(probability=0.3, seed=17)},
+        )
+        result = mp.run(seeded_dirty.stream())
+        dead_pairs = result.dead_letter_ids
+        assert dead_pairs
+        expected = sequential_pairs(seeded_dirty) - dead_pairs
+        assert result.match_pairs == expected
+
+
+class TestRetriesPreserveEquivalence:
+    """Transient faults healed by retries must leave results untouched."""
+
+    def test_transient_faults_full_equivalence(self, seeded_dirty):
+        expected = sequential_pairs(seeded_dirty)
+        parallel = ParallelERPipeline(
+            config_for(seeded_dirty),
+            processes=12,
+            micro_batch_size=25,
+            supervision=SupervisionPolicy(max_retries=2),
+            faults={"co": FaultSpec(probability=0.5, seed=3, transient_attempts=1)},
+        )
+        result = parallel.run(seeded_dirty.stream(), timeout=RUN_TIMEOUT)
+        assert result.items_failed == 0
+        assert result.retries > 0
+        assert result.match_pairs == expected

@@ -1,0 +1,149 @@
+"""Clean-shutdown guarantees: idempotence, timeouts, liveness reporting."""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.classification import ThresholdClassifier
+from repro.core import StreamERConfig, SupervisionPolicy
+from repro.core.stages import STAGE_ORDER
+from repro.errors import PipelineStoppedError
+from repro.parallel import FaultSpec, ParallelERPipeline
+from repro.types import EntityDescription
+
+RUN_TIMEOUT = 60.0
+
+_WORDS = ["glass", "panel", "wood", "fibre", "roof", "window"]
+
+
+def make_entities(n: int):
+    return [
+        EntityDescription.create(
+            i, {"title": " ".join(_WORDS[(i + j) % len(_WORDS)] for j in range(3))}
+        )
+        for i in range(n)
+    ]
+
+
+def config():
+    return StreamERConfig(alpha=100, beta=0.5, classifier=ThresholdClassifier(0.4))
+
+
+class TestCloseIdempotence:
+    def test_double_close_is_idempotent(self):
+        pipeline = ParallelERPipeline(config(), processes=8)
+        for entity in make_entities(10):
+            pipeline.submit(entity)
+        pipeline.close()
+        pipeline.close()  # second close must be a no-op, not extra sentinels
+        pipeline.join(timeout=RUN_TIMEOUT)
+        assert pipeline.items_failed == 0
+
+    def test_close_without_submit(self):
+        pipeline = ParallelERPipeline(config(), processes=8)
+        pipeline.close()
+        pipeline.close()
+        pipeline.join(timeout=RUN_TIMEOUT)
+
+    def test_submit_after_close_raises(self):
+        entities = make_entities(2)
+        pipeline = ParallelERPipeline(config(), processes=8)
+        pipeline.submit(entities[0])
+        pipeline.close()
+        with pytest.raises(PipelineStoppedError):
+            pipeline.submit(entities[1])
+        pipeline.join(timeout=RUN_TIMEOUT)
+
+
+class TestJoinTimeout:
+    def test_join_timeout_raises_with_liveness_report(self):
+        # Wedge every comparison worker with a long injected delay.
+        pipeline = ParallelERPipeline(
+            config(),
+            processes=8,
+            faults={"co": FaultSpec(probability=1.0, mode="delay", delay_seconds=30.0)},
+        )
+        for entity in make_entities(8):
+            pipeline.submit(entity)
+        pipeline.close()
+        with pytest.raises(PipelineStoppedError) as excinfo:
+            pipeline.join(timeout=0.5)
+        message = str(excinfo.value)
+        assert "co" in message
+        assert "threads alive" in message
+        # threads are daemons; the wedged pipeline is abandoned here
+
+    def test_join_without_timeout_drains(self):
+        pipeline = ParallelERPipeline(config(), processes=8)
+        for entity in make_entities(5):
+            pipeline.submit(entity)
+        pipeline.close()
+        pipeline.join()  # no timeout: plain drain, must return promptly
+        assert all(stats["alive"] == 0 for stats in pipeline.liveness_report().values())
+
+    def test_close_timeout_on_saturated_input(self):
+        pipeline = ParallelERPipeline(
+            config(),
+            processes=8,
+            queue_capacity=1,
+            faults={"dr": FaultSpec(probability=1.0, mode="delay", delay_seconds=30.0)},
+        )
+        entities = make_entities(2 + pipeline.allocation["dr"])
+        pipeline.submit(entities[0])
+        # wait until every dr worker is wedged inside the delay and the
+        # input queue is empty again, then refill it completely
+        deadline = time.perf_counter() + 10
+        while pipeline._input.qsize() > 0 and time.perf_counter() < deadline:
+            time.sleep(0.01)
+        for entity in entities[1 : 2 + pipeline.allocation["dr"] - 1]:
+            pipeline.submit(entity)
+        with pytest.raises(PipelineStoppedError) as excinfo:
+            pipeline.close(timeout=0.3)
+        assert "stop sentinels" in str(excinfo.value)
+
+
+class TestLivenessReport:
+    def test_report_covers_every_stage(self):
+        pipeline = ParallelERPipeline(config(), processes=8)
+        report = pipeline.liveness_report()
+        assert set(report) == set(STAGE_ORDER)
+        for name, stats in report.items():
+            assert set(stats) == {"workers", "alive", "active", "queued"}
+            assert stats["workers"] == pipeline.allocation[name]
+            assert stats["alive"] == 0  # not started yet
+
+    def test_report_after_clean_run(self):
+        pipeline = ParallelERPipeline(config(), processes=8)
+        pipeline.run(make_entities(10), timeout=RUN_TIMEOUT)
+        for stats in pipeline.liveness_report().values():
+            assert stats["alive"] == 0
+            assert stats["active"] == 0
+            assert stats["queued"] == 0
+
+
+class TestCatastrophicWorkerDeath:
+    """try/finally in the worker loop: even a death *outside* the supervised
+    stage call still decrements the pool and forwards the stop sentinels —
+    the minimal fix for the silent-deadlock bug."""
+
+    class _ExplodingSupervisor:
+        """Simulates a crash in the worker machinery itself."""
+
+        def execute(self, stage, fn, payload):
+            raise RuntimeError("catastrophic worker failure")
+
+    def test_worker_death_does_not_deadlock_join(self, monkeypatch):
+        # silence the unhandled-thread-exception report for the dying worker
+        monkeypatch.setattr(threading, "excepthook", lambda args: None)
+        pipeline = ParallelERPipeline(config(), processes=8)
+        runner = next(r for r in pipeline._runners if r.name == "cg")
+        runner.supervisor = self._ExplodingSupervisor()
+        entities = make_entities(10)
+        for entity in entities:
+            pipeline.submit(entity)
+        pipeline.close()
+        pipeline.join(timeout=RUN_TIMEOUT)  # must terminate, not deadlock
+        assert all(stats["alive"] == 0 for stats in pipeline.liveness_report().values())
