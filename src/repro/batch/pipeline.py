@@ -19,6 +19,7 @@ from typing import Iterable, Sequence
 from repro.blocking import block_filtering, block_purging, count_comparisons
 from repro.classification.classifiers import Classifier, ThresholdClassifier
 from repro.comparison.comparator import TokenSetComparator
+from repro.core.backends import InMemoryBackend, StateBackend
 from repro.errors import ConfigurationError
 from repro.metablocking import (
     build_blocking_graph,
@@ -183,22 +184,30 @@ class IncrementalBatchER:
     data collected so far; comparisons already executed in earlier
     increments are skipped (but re-derived), so the workload still grows
     with every increment — the effect Figure 10 shows.
+
+    The cross-increment match set lives in a
+    :class:`~repro.core.backends.StateBackend` match store (in-memory by
+    default), the same pluggable seam the stream executors use.
     """
 
-    def __init__(self, config: BatchERConfig | None = None) -> None:
+    def __init__(
+        self,
+        config: BatchERConfig | None = None,
+        backend: StateBackend | None = None,
+    ) -> None:
         self.pipeline = BatchERPipeline(config)
+        self.backend = backend if backend is not None else InMemoryBackend()
         self._collected: list[EntityDescription] = []
         self._compared: set[Pair] = set()
-        self._matches: list[Match] = []
         self.total_seconds = 0.0
 
     @property
     def matches(self) -> list[Match]:
-        return list(self._matches)
+        return self.backend.matches.matches()
 
     @property
     def match_pairs(self) -> set[Pair]:
-        return {m.key() for m in self._matches}
+        return self.backend.matches.pairs()
 
     def process_increment(self, increment: Iterable[EntityDescription]) -> BatchERResult:
         """Fold one increment in; returns the run over all collected data."""
@@ -207,5 +216,6 @@ class IncrementalBatchER:
         result = self.pipeline.run(self._collected, skip_pairs=self._compared)
         self.total_seconds += time.perf_counter() - start
         self._compared.update(pair_key(i, j) for i, j in result.candidate_pairs)
-        self._matches.extend(result.matches)
+        for match in result.matches:
+            self.backend.matches.add(match)
         return result

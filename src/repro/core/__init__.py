@@ -1,5 +1,11 @@
-"""Core of the reproduction: functional model, state, stages, pipeline."""
+"""Core of the reproduction: functional model, state, plan, pipeline."""
 
+from repro.core.backends import (
+    CooccurrenceCounter,
+    InMemoryBackend,
+    ShardedBackend,
+    StateBackend,
+)
 from repro.core.cleanclean import combine, combine_many, source_of, tag, tag_pairs
 from repro.core.persistence import dump_state, load_state
 from repro.core.config import StreamERConfig, SupervisionPolicy
@@ -11,6 +17,7 @@ from repro.core.model import (
     stream_er,
 )
 from repro.core.pipeline import ERResult, StreamERPipeline
+from repro.core.plan import STAGE_ORDER, CompiledPipeline, PipelinePlan, StageSpec
 from repro.core.state import (
     Blacklist,
     BlockCollection,
@@ -25,6 +32,14 @@ __all__ = [
     "StreamERPipeline",
     "ERResult",
     "ERState",
+    "PipelinePlan",
+    "StageSpec",
+    "CompiledPipeline",
+    "STAGE_ORDER",
+    "StateBackend",
+    "InMemoryBackend",
+    "ShardedBackend",
+    "CooccurrenceCounter",
     "BlockCollection",
     "Blacklist",
     "ProfileStore",

@@ -1,0 +1,26 @@
+"""Pluggable state backends: where the ER state σ physically lives."""
+
+from repro.core.backends.base import CooccurrenceCounter, StateBackend
+from repro.core.backends.memory import InMemoryBackend
+from repro.core.backends.sharded import (
+    ShardedBackend,
+    ShardedBlacklist,
+    ShardedBlockCollection,
+    ShardedCooccurrenceCounter,
+    ShardedMatchStore,
+    ShardedProfileStore,
+    shard_index,
+)
+
+__all__ = [
+    "StateBackend",
+    "CooccurrenceCounter",
+    "InMemoryBackend",
+    "ShardedBackend",
+    "ShardedBlockCollection",
+    "ShardedBlacklist",
+    "ShardedProfileStore",
+    "ShardedMatchStore",
+    "ShardedCooccurrenceCounter",
+    "shard_index",
+]

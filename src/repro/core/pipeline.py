@@ -1,10 +1,11 @@
 """The sequential (SEQ) stream ER pipeline.
 
-Wires the eight stages of Figure 3 into a single-threaded executor that
-processes one entity description at a time, supporting both incremental and
-streaming use.  Per-stage wall-clock time is accumulated so the bottleneck
-analysis of Figure 6 can be regenerated, and per-stage counters expose the
-comparison-reduction numbers of Table III / Figure 7.
+Compiles the :class:`~repro.core.plan.PipelinePlan` for its configuration
+into a single-threaded executor that processes one entity description at a
+time, supporting both incremental and streaming use.  Per-stage wall-clock
+time is accumulated so the bottleneck analysis of Figure 6 can be
+regenerated, and per-stage counters expose the comparison-reduction
+numbers of Table III / Figure 7.
 """
 
 from __future__ import annotations
@@ -13,17 +14,9 @@ import time
 from dataclasses import dataclass, field
 from typing import Iterable, Iterator
 
+from repro.core.backends import StateBackend
 from repro.core.config import StreamERConfig
-from repro.core.stages import (
-    BlockBuildingStage,
-    BlockGhostingStage,
-    ClassificationStage,
-    ComparisonCleaningStage,
-    ComparisonGenerationStage,
-    ComparisonStage,
-    DataReadingStage,
-    LoadManagementStage,
-)
+from repro.core.plan import PipelinePlan
 from repro.core.state import ERState
 from repro.errors import ConfigurationError
 from repro.types import DeadLetter, EntityDescription, Match, StageTimings
@@ -61,6 +54,38 @@ class ERResult:
         """Entity identifiers of all dead-lettered items."""
         return {d.entity_id for d in self.dead_letters}
 
+    @classmethod
+    def merge(cls, results: Iterable["ERResult"]) -> "ERResult":
+        """Combine results of runs over disjoint partitions (shards).
+
+        Matches are deduplicated by canonical pair key (a pair discovered
+        in two partitions counts once); counters, timings, failures and
+        dead letters are summed; ``elapsed_seconds`` is the *maximum* over
+        the inputs, since sharded partitions execute concurrently.
+        """
+        merged = cls()
+        seen: set[tuple] = set()
+        elapsed = 0.0
+        for result in results:
+            merged.entities_processed += result.entities_processed
+            for match in result.matches:
+                key = match.key()
+                if key not in seen:
+                    seen.add(key)
+                    merged.matches.append(match)
+            for stage, seconds in result.timings.seconds.items():
+                merged.timings.add(stage, seconds)
+            merged.comparisons_generated += result.comparisons_generated
+            merged.comparisons_after_cleaning += result.comparisons_after_cleaning
+            merged.blocks_pruned += result.blocks_pruned
+            merged.keys_ghosted += result.keys_ghosted
+            merged.items_failed += result.items_failed
+            merged.retries += result.retries
+            merged.dead_letters.extend(result.dead_letters)
+            elapsed = max(elapsed, result.elapsed_seconds)
+        merged.elapsed_seconds = elapsed
+        return merged
+
 
 class StreamERPipeline:
     """Sequential end-to-end ER over dynamic data.
@@ -77,22 +102,40 @@ class StreamERPipeline:
     instrument:
         When True (default), each stage call is timed individually.  Turn
         off to shave the timer overhead in throughput experiments.
+    backend:
+        Where the ER state lives; defaults to a fresh
+        :class:`~repro.core.backends.InMemoryBackend`.
+    plan:
+        A pre-built :class:`~repro.core.plan.PipelinePlan` to compile; by
+        default one is derived from ``config``.  When given, its embedded
+        config wins.
+
+    The optional-stage attributes (``bg``, ``cc``) are ``None`` when the
+    plan dropped those nodes (block/comparison cleaning disabled).
     """
 
-    def __init__(self, config: StreamERConfig | None = None, instrument: bool = True) -> None:
-        self.config = config or StreamERConfig()
+    def __init__(
+        self,
+        config: StreamERConfig | None = None,
+        instrument: bool = True,
+        backend: StateBackend | None = None,
+        plan: PipelinePlan | None = None,
+    ) -> None:
+        self.plan = plan if plan is not None else PipelinePlan.from_config(config)
+        self.config = self.plan.config
         self.instrument = instrument
         self.timings = StageTimings()
-        cfg = self.config
-        self.dr = DataReadingStage(cfg.profile_builder)
-        self.bb = BlockBuildingStage(alpha=cfg.alpha, enabled=cfg.enable_block_cleaning)
-        self.bg = BlockGhostingStage(beta=cfg.beta, enabled=cfg.enable_block_cleaning)
-        self.cg = ComparisonGenerationStage(clean_clean=cfg.clean_clean)
-        self.cc = ComparisonCleaningStage(enabled=cfg.enable_comparison_cleaning)
-        self.lm = LoadManagementStage()
-        self.co = ComparisonStage(cfg.comparator)
-        self.cl = ClassificationStage(cfg.classifier)
-        self._stages = (self.dr, self.bb, self.bg, self.cg, self.cc, self.lm, self.co, self.cl)
+        self.compiled = self.plan.compile(backend)
+        self.backend = self.compiled.backend
+        self.dr = self.compiled.get("dr")
+        self.bb = self.compiled.get("bb+bp")
+        self.bg = self.compiled.get("bg")
+        self.cg = self.compiled.get("cg")
+        self.cc = self.compiled.get("cc")
+        self.lm = self.compiled.get("lm")
+        self.co = self.compiled.get("co")
+        self.cl = self.compiled.get("cl")
+        self._stages = tuple(stage for _, stage in self.compiled.ordered())
         self._entities_processed = 0
         self.items_failed = 0
         self.retries_performed = 0
@@ -103,12 +146,7 @@ class StreamERPipeline:
     @property
     def state(self) -> ERState:
         """A view over the pipeline's distributed state components."""
-        return ERState(
-            blocks=self.bb.blocks,
-            blacklist=self.bb.blacklist,
-            profiles=self.lm.profiles,
-            matches=self.cl.matches,
-        )
+        return self.backend.state()
 
     @property
     def entities_processed(self) -> int:
@@ -151,9 +189,9 @@ class StreamERPipeline:
                 f'on_error must be "raise" or "dead_letter", got {on_error!r}'
             )
         start_generated = self.cg.generated
-        start_retained = self.cc.retained
+        start_materialized = self.lm.materialized
         start_pruned = self.bb.pruned_blocks
-        start_ghosted = self.bg.ghosted_keys
+        start_ghosted = self.bg.ghosted_keys if self.bg is not None else 0
         start_failed = self.items_failed
         matches: list[Match] = []
         dead: list[DeadLetter] = []
@@ -174,14 +212,15 @@ class StreamERPipeline:
                 self.dead_letters.append(letter)
                 self.items_failed += 1
         elapsed = time.perf_counter() - wall_start
+        end_ghosted = self.bg.ghosted_keys if self.bg is not None else 0
         return ERResult(
             entities_processed=count,
             matches=matches,
             timings=self.timings,
             comparisons_generated=self.cg.generated - start_generated,
-            comparisons_after_cleaning=self.cc.retained - start_retained,
+            comparisons_after_cleaning=self.lm.materialized - start_materialized,
             blocks_pruned=self.bb.pruned_blocks - start_pruned,
-            keys_ghosted=self.bg.ghosted_keys - start_ghosted,
+            keys_ghosted=end_ghosted - start_ghosted,
             elapsed_seconds=elapsed,
             items_failed=self.items_failed - start_failed,
             dead_letters=dead,
@@ -201,9 +240,9 @@ class StreamERPipeline:
             matches=self.cl.matches.matches(),
             timings=self.timings,
             comparisons_generated=self.cg.generated,
-            comparisons_after_cleaning=self.cc.retained,
+            comparisons_after_cleaning=self.lm.materialized,
             blocks_pruned=self.bb.pruned_blocks,
-            keys_ghosted=self.bg.ghosted_keys,
+            keys_ghosted=self.bg.ghosted_keys if self.bg is not None else 0,
             elapsed_seconds=self.timings.total(),
             items_failed=self.items_failed,
             dead_letters=list(self.dead_letters),

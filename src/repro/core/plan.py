@@ -1,0 +1,224 @@
+"""The declarative stage graph every executor compiles, built once per run.
+
+The paper's functional model is a single composition
+``f_er = f_cl ∘ f_co ∘ f_lm ∘ f_cc ∘ f_cg ∘ f_bg ∘ f_bb+bp ∘ f_dr``,
+but executing it takes four very different substrates: the sequential
+pipeline, the thread framework (PP/MPP), the multiprocess executor, and
+the discrete-event simulator.  A :class:`PipelinePlan` is the one place
+that knows *what* the graph is — which stages exist for a given
+:class:`~repro.core.config.StreamERConfig`, in what order, how each is
+constructed against a :class:`~repro.core.backends.StateBackend`, and
+which execution constraints apply:
+
+``replicable``
+    whether an executor may run several workers of the stage concurrently
+    (``f_bb+bp`` is the serial stage: it owns the block index and its
+    verdicts depend on arrival order);
+``serialization_point``
+    whether the stage is the pipeline's ordering barrier, where an
+    executor that replicates downstream stages must make the entity's
+    profile resolvable before emitting it (the thread framework registers
+    the profile here, so ``f_lm`` lookups can never miss);
+``optional``
+    whether the node is gated by a config flag and disappears from the
+    graph entirely when disabled (``f_bg`` with block cleaning off,
+    ``f_cc`` with comparison cleaning off).
+
+Executors *compile* the plan — :meth:`PipelinePlan.compile` instantiates
+every active stage against one backend and returns a
+:class:`CompiledPipeline` — instead of hand-constructing stages, so stage
+wiring, ordering and state ownership are defined exactly once.
+
+``STAGE_ORDER`` (the full eight-name tuple) is re-exported here and is the
+canonical import site for every stage-name consumer outside ``core``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.core.backends import InMemoryBackend, StateBackend
+from repro.core.config import StreamERConfig
+from repro.core.stages import (
+    STAGE_ORDER,
+    BlockBuildingStage,
+    BlockGhostingStage,
+    ClassificationStage,
+    ComparisonCleaningStage,
+    ComparisonGenerationStage,
+    ComparisonStage,
+    DataReadingStage,
+    LoadManagementStage,
+)
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "STAGE_ORDER",
+    "StageSpec",
+    "PipelinePlan",
+    "CompiledPipeline",
+]
+
+#: A stage factory: (config, backend) → the stage callable.
+StageFactory = Callable[[StreamERConfig, StateBackend], Callable]
+
+
+@dataclass(frozen=True)
+class StageSpec:
+    """One node of the stage graph: identity, factory, execution constraints."""
+
+    name: str
+    factory: StageFactory
+    replicable: bool = True
+    serialization_point: bool = False
+    optional: bool = False
+
+
+def _make_dr(config: StreamERConfig, backend: StateBackend):
+    return DataReadingStage(config.profile_builder)
+
+
+def _make_bb(config: StreamERConfig, backend: StateBackend):
+    return BlockBuildingStage(
+        alpha=config.alpha, enabled=config.enable_block_cleaning, backend=backend
+    )
+
+
+def _make_bg(config: StreamERConfig, backend: StateBackend):
+    return BlockGhostingStage(beta=config.beta)
+
+
+def _make_cg(config: StreamERConfig, backend: StateBackend):
+    return ComparisonGenerationStage(clean_clean=config.clean_clean)
+
+
+def _make_cc(config: StreamERConfig, backend: StateBackend):
+    return ComparisonCleaningStage(backend=backend)
+
+
+def _make_lm(config: StreamERConfig, backend: StateBackend):
+    return LoadManagementStage(backend=backend)
+
+
+def _make_co(config: StreamERConfig, backend: StateBackend):
+    return ComparisonStage(config.comparator)
+
+
+def _make_cl(config: StreamERConfig, backend: StateBackend):
+    return ClassificationStage(config.classifier, backend=backend)
+
+
+#: The full graph, in pipeline order.  ``from_config`` filters the optional
+#: nodes; everything else consumes the *filtered* view.
+_ALL_SPECS: tuple[StageSpec, ...] = (
+    StageSpec("dr", _make_dr),
+    StageSpec("bb+bp", _make_bb, replicable=False, serialization_point=True),
+    StageSpec("bg", _make_bg, optional=True),
+    StageSpec("cg", _make_cg),
+    StageSpec("cc", _make_cc, optional=True),
+    StageSpec("lm", _make_lm),
+    StageSpec("co", _make_co),
+    StageSpec("cl", _make_cl),
+)
+
+#: Which config flag keeps each optional node in the graph.
+_OPTIONAL_GATES: dict[str, Callable[[StreamERConfig], bool]] = {
+    "bg": lambda config: config.enable_block_cleaning,
+    "cc": lambda config: config.enable_comparison_cleaning,
+}
+
+
+@dataclass(frozen=True)
+class PipelinePlan:
+    """The stage graph for one configuration; shared by all executors."""
+
+    config: StreamERConfig
+    specs: tuple[StageSpec, ...]
+
+    @classmethod
+    def from_config(cls, config: StreamERConfig | None = None) -> "PipelinePlan":
+        """Build the plan, dropping optional nodes the config disables."""
+        config = config or StreamERConfig()
+        specs = tuple(
+            spec
+            for spec in _ALL_SPECS
+            if not spec.optional or _OPTIONAL_GATES[spec.name](config)
+        )
+        return cls(config=config, specs=specs)
+
+    # -- graph queries -------------------------------------------------
+
+    def stage_names(self) -> tuple[str, ...]:
+        """Active stage names in pipeline order."""
+        return tuple(spec.name for spec in self.specs)
+
+    def __contains__(self, name: str) -> bool:
+        return any(spec.name == name for spec in self.specs)
+
+    def spec(self, name: str) -> StageSpec:
+        for spec in self.specs:
+            if spec.name == name:
+                return spec
+        raise ConfigurationError(
+            f"stage {name!r} is not in this plan (active: {self.stage_names()})"
+        )
+
+    def front_stage_names(self) -> tuple[str, ...]:
+        """The state-bearing front: every active stage before ``co``."""
+        return tuple(
+            spec.name for spec in self.specs if spec.name not in ("co", "cl")
+        )
+
+    def serialization_points(self) -> tuple[str, ...]:
+        return tuple(spec.name for spec in self.specs if spec.serialization_point)
+
+    def non_replicable_stages(self) -> tuple[str, ...]:
+        return tuple(spec.name for spec in self.specs if not spec.replicable)
+
+    # -- compilation ---------------------------------------------------
+
+    def compile(self, backend: StateBackend | None = None) -> "CompiledPipeline":
+        """Instantiate every active stage against one state backend."""
+        return CompiledPipeline(self, backend if backend is not None else InMemoryBackend())
+
+
+class CompiledPipeline:
+    """The plan's stages, instantiated in order against a shared backend.
+
+    This is what an executor consumes: an ordered mapping of active stage
+    name → stage callable, plus the backend that owns all mutable state.
+    Dropped optional nodes are simply absent — executors query with
+    :meth:`get` and treat ``None`` as "not in this run".
+    """
+
+    def __init__(self, plan: PipelinePlan, backend: StateBackend) -> None:
+        self.plan = plan
+        self.backend = backend
+        self._stages: dict[str, Callable] = {
+            spec.name: spec.factory(plan.config, backend) for spec in plan.specs
+        }
+
+    @property
+    def names(self) -> tuple[str, ...]:
+        return self.plan.stage_names()
+
+    def stage(self, name: str) -> Callable:
+        try:
+            return self._stages[name]
+        except KeyError:
+            raise ConfigurationError(
+                f"stage {name!r} is not active (active: {self.names})"
+            ) from None
+
+    def get(self, name: str):
+        """The stage callable, or None when the node is not in the plan."""
+        return self._stages.get(name)
+
+    def ordered(self) -> list[tuple[str, Callable]]:
+        """(name, stage) pairs in pipeline order."""
+        return [(spec.name, self._stages[spec.name]) for spec in self.plan.specs]
+
+    def stage_functions(self) -> dict[str, Callable]:
+        """A mutable name → callable mapping (for wrapping/fault injection)."""
+        return dict(self._stages)

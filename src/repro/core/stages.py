@@ -15,6 +15,13 @@ Stage classes correspond one-to-one to the boxes in Figure 3 of the paper:
 Each stage is a callable taking the previous stage's message and returning
 the next one, so the sequential pipeline is literally their composition and
 the parallel framework can put each behind its own worker pool.
+
+Stateful stages resolve their stores in a fixed order: an explicitly passed
+store wins (tests and ablations inject doubles that way), otherwise the
+``backend`` (a :class:`~repro.core.backends.StateBackend`) supplies it, and
+with neither a fresh in-memory store is created.  Executors never pass
+stores directly — they compile a :class:`~repro.core.plan.PipelinePlan`,
+which threads one backend through every factory.
 """
 
 from __future__ import annotations
@@ -23,6 +30,7 @@ from dataclasses import dataclass
 
 from repro.classification.classifiers import Classifier, ThresholdClassifier
 from repro.comparison.comparator import TokenSetComparator
+from repro.core.backends.base import CooccurrenceCounter, StateBackend
 from repro.core.state import Blacklist, BlockCollection, MatchStore, ProfileStore
 from repro.errors import UnknownProfileError
 from repro.reading.profiles import ProfileBuilder
@@ -134,11 +142,16 @@ class BlockBuildingStage:
         enabled: bool = True,
         blocks: BlockCollection | None = None,
         blacklist: Blacklist | None = None,
+        backend: StateBackend | None = None,
     ) -> None:
         self.alpha = alpha
         self.enabled = enabled
-        self.blocks = blocks if blocks is not None else BlockCollection()
-        self.blacklist = blacklist if blacklist is not None else Blacklist()
+        if blocks is None:
+            blocks = backend.blocks if backend is not None else BlockCollection()
+        if blacklist is None:
+            blacklist = backend.blacklist if backend is not None else Blacklist()
+        self.blocks = blocks
+        self.blacklist = blacklist
         self.pruned_blocks = 0
 
     def __call__(self, profile: Profile) -> BlockedEntity:
@@ -233,14 +246,22 @@ class ComparisonCleaningStage:
 
     name = "cc"
 
-    def __init__(self, enabled: bool = True) -> None:
+    def __init__(
+        self,
+        enabled: bool = True,
+        cooccurrence: CooccurrenceCounter | None = None,
+        backend: StateBackend | None = None,
+    ) -> None:
         self.enabled = enabled
+        if cooccurrence is None:
+            cooccurrence = (
+                backend.cooccurrence if backend is not None else CooccurrenceCounter()
+            )
+        self.cooccurrence = cooccurrence
         self.retained = 0
 
     def __call__(self, generated: CandidateComparisons) -> CleanedComparisons:
-        counts: dict[EntityId, int] = {}
-        for j in generated.candidates:
-            counts[j] = counts.get(j, 0) + 1
+        counts = self.cooccurrence.count(generated.candidates)
         if not counts:
             return CleanedComparisons(profile=generated.profile, candidates=[])
         if self.enabled:
@@ -260,22 +281,39 @@ class LoadManagementStage:
     partner id necessarily belongs to an earlier, fully processed entity, so
     lookups cannot fail; a missing profile indicates a wiring bug and raises
     :class:`UnknownProfileError`.
+
+    Candidates are deduplicated before materialization (first-occurrence
+    order).  With ``f_cc`` upstream this is a no-op — its survivors are
+    already distinct — but it keeps the pipeline's comparison semantics
+    intact when the plan drops the ``cc`` node entirely
+    (``enable_comparison_cleaning=False``) and ``f_cg``'s
+    multiplicity-carrying candidates flow here directly.  ``materialized``
+    counts the comparisons actually emitted, which is therefore the
+    "after cleaning" figure regardless of which optional nodes are active.
     """
 
     name = "lm"
 
-    def __init__(self, profiles: ProfileStore | None = None) -> None:
-        self.profiles = profiles if profiles is not None else ProfileStore()
+    def __init__(
+        self,
+        profiles: ProfileStore | None = None,
+        backend: StateBackend | None = None,
+    ) -> None:
+        if profiles is None:
+            profiles = backend.profiles if backend is not None else ProfileStore()
+        self.profiles = profiles
+        self.materialized = 0
 
     def __call__(self, cleaned: CleanedComparisons) -> MaterializedComparisons:
         profile = cleaned.profile
         self.profiles.put(profile)
         comparisons: list[Comparison] = []
-        for j in cleaned.candidates:
+        for j in dict.fromkeys(cleaned.candidates):
             other = self.profiles.get(j)
             if other is None:
                 raise UnknownProfileError(f"profile of {j!r} was never registered")
             comparisons.append(Comparison(left=profile, right=other))
+        self.materialized += len(comparisons)
         return MaterializedComparisons(profile=profile, comparisons=comparisons)
 
 
@@ -307,9 +345,12 @@ class ClassificationStage:
         self,
         classifier: Classifier | None = None,
         matches: MatchStore | None = None,
+        backend: StateBackend | None = None,
     ) -> None:
         self.classifier = classifier or ThresholdClassifier()
-        self.matches = matches if matches is not None else MatchStore()
+        if matches is None:
+            matches = backend.matches if backend is not None else MatchStore()
+        self.matches = matches
 
     def __call__(self, scored: ScoredComparisons) -> list[Match]:
         found: list[Match] = []

@@ -9,12 +9,18 @@ each owned by exactly one pipeline stage:
 
 Blocks store entity *identifiers only* (the paper's profile-maintenance
 choice); profiles are re-attached later via the profile store.
+
+These classes are also the unit of pluggable storage: a
+:class:`~repro.core.backends.StateBackend` groups one instance of each (or
+a sharded/remote equivalent with the same interface) and hands them to the
+stages, so executors never hard-code where state lives.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterator
+from types import MappingProxyType
+from typing import Iterator, Mapping
 
 from repro.types import EntityId, Match, Profile, pair_key
 
@@ -25,12 +31,20 @@ class BlockCollection:
     Each block is an insertion-ordered list of entity identifiers.  Blocks
     of size one are kept (they may grow later, as the paper stresses with
     the "Jane" block of the running example).
+
+    Size statistics (``sizes``, ``total_assignments``, ``total_comparisons``)
+    are maintained as running counters in :meth:`add`, :meth:`remove_block`
+    and :meth:`discard`, so reading them is O(1) instead of O(#blocks) —
+    monitoring snapshots and purging heuristics can poll them freely.
     """
 
-    __slots__ = ("_blocks",)
+    __slots__ = ("_blocks", "_sizes", "_assignments", "_comparisons")
 
     def __init__(self) -> None:
         self._blocks: dict[str, list[EntityId]] = {}
+        self._sizes: dict[str, int] = {}
+        self._assignments = 0
+        self._comparisons = 0
 
     def add(self, key: str, eid: EntityId) -> int:
         """Append ``eid`` to block ``key`` (creating it) and return its size."""
@@ -38,12 +52,42 @@ class BlockCollection:
         if block is None:
             block = []
             self._blocks[key] = block
+        size_before = len(block)
         block.append(eid)
-        return len(block)
+        self._sizes[key] = size_before + 1
+        self._assignments += 1
+        self._comparisons += size_before
+        return size_before + 1
 
     def remove_block(self, key: str) -> None:
         """Drop an entire block (used by block pruning)."""
-        self._blocks.pop(key, None)
+        block = self._blocks.pop(key, None)
+        if block is not None:
+            n = self._sizes.pop(key, len(block))
+            self._assignments -= n
+            self._comparisons -= n * (n - 1) // 2
+
+    def discard(self, key: str, eid: EntityId) -> bool:
+        """Remove one entity from block ``key`` (windowed eviction, updates).
+
+        Empty blocks are dropped.  Returns True when an assignment was
+        actually removed.  This is the *only* sanctioned way to shrink a
+        block — mutating the list returned by :meth:`block` directly would
+        silently corrupt the running size counters.
+        """
+        block = self._blocks.get(key)
+        if block is None or eid not in block:
+            return False
+        block.remove(eid)
+        remaining = len(block)
+        self._assignments -= 1
+        self._comparisons -= remaining
+        if remaining:
+            self._sizes[key] = remaining
+        else:
+            del self._blocks[key]
+            del self._sizes[key]
+        return True
 
     def block(self, key: str) -> list[EntityId]:
         """The members of block ``key`` (empty list if absent)."""
@@ -61,17 +105,17 @@ class BlockCollection:
     def items(self) -> Iterator[tuple[str, list[EntityId]]]:
         return iter(self._blocks.items())
 
-    def sizes(self) -> dict[str, int]:
-        """Map of block key to block size."""
-        return {key: len(block) for key, block in self._blocks.items()}
+    def sizes(self) -> Mapping[str, int]:
+        """Read-only live view of block key → block size (O(1))."""
+        return MappingProxyType(self._sizes)
 
     def total_assignments(self) -> int:
-        """Total number of (entity, block) assignments (Σ |b|)."""
-        return sum(len(block) for block in self._blocks.values())
+        """Total number of (entity, block) assignments (Σ |b|), O(1)."""
+        return self._assignments
 
     def total_comparisons(self) -> int:
-        """Aggregate cardinality ||B|| = Σ_b |b|(|b|−1)/2 (dirty ER)."""
-        return sum(len(b) * (len(b) - 1) // 2 for b in self._blocks.values())
+        """Aggregate cardinality ||B|| = Σ_b |b|(|b|−1)/2 (dirty ER), O(1)."""
+        return self._comparisons
 
 
 @dataclass
@@ -154,7 +198,11 @@ class MatchStore:
 
 @dataclass
 class ERState:
-    """The full state σ = ⟨M, B⟩ plus the auxiliary stores of §IV-A."""
+    """The full state σ = ⟨M, B⟩ plus the auxiliary stores of §IV-A.
+
+    The fields are duck-typed: a sharded backend supplies sharded stores
+    with the same interfaces (see :mod:`repro.core.backends`).
+    """
 
     blocks: BlockCollection = field(default_factory=BlockCollection)
     blacklist: Blacklist = field(default_factory=Blacklist)

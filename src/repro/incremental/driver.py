@@ -21,6 +21,7 @@ from repro.batch.pipeline import BatchERConfig, IncrementalBatchER
 from repro.classification.classifiers import Classifier
 from repro.core.config import StreamERConfig
 from repro.core.pipeline import StreamERPipeline
+from repro.core.plan import PipelinePlan
 from repro.datasets.generators import GeneratedDataset
 from repro.evaluation.metrics import pair_completeness
 from repro.piblock.piblock import PIBlockConfig, PIBlockER
@@ -59,7 +60,9 @@ def _run_stream(
         clean_clean=dataset.clean_clean,
         classifier=classifier,
     )
-    pipeline = StreamERPipeline(config, instrument=False)
+    # The plan drops the ``bg`` node entirely for the No-BC variant.
+    plan = PipelinePlan.from_config(config)
+    pipeline = StreamERPipeline(plan=plan, instrument=False)
     per_increment: list[float] = []
     for increment in increments:
         start = time.perf_counter()

@@ -9,11 +9,17 @@ stage with the largest remaining per-process time.  This reproduces the
 paper's ``P = 3 + 2v + x + y + z`` scheme and, with the measured ratios
 ``T_co ≈ 2·T_cc ≈ 6·T_cg``, its example allocation (P=15 → v=1, x=3, y=6,
 z=1).
+
+The solver allocates over whatever stage list the executor's
+:class:`~repro.core.plan.PipelinePlan` activated (optional nodes may be
+dropped); by default it covers the full eight-stage ``STAGE_ORDER``.
 """
 
 from __future__ import annotations
 
-from repro.core.stages import STAGE_ORDER
+from typing import Sequence
+
+from repro.core.plan import STAGE_ORDER
 from repro.errors import ConfigurationError
 
 #: The stateful serializer always runs on exactly one process (data
@@ -31,28 +37,33 @@ SCALABLE_STAGES: tuple[str, ...] = ("dr", "bg", "cg", "cc", "lm", "co", "cl")
 
 
 def allocate_processes(
-    stage_seconds: dict[str, float], total_processes: int
+    stage_seconds: dict[str, float],
+    total_processes: int,
+    stages: Sequence[str] = STAGE_ORDER,
 ) -> dict[str, int]:
-    """Distribute ``total_processes`` over the eight stages.
+    """Distribute ``total_processes`` over the active ``stages``.
 
     ``stage_seconds`` maps stage names (see ``STAGE_ORDER``) to measured
-    total times of a sequential run.  Requires at least one process per
-    stage (total ≥ 8).
+    total times of a sequential run; entries for inactive stages are
+    ignored.  Requires at least one process per active stage.
     """
-    if total_processes < len(STAGE_ORDER):
+    if not stages:
+        raise ConfigurationError("stages must not be empty")
+    if total_processes < len(stages):
         raise ConfigurationError(
-            f"need at least {len(STAGE_ORDER)} processes, got {total_processes}"
+            f"need at least {len(stages)} processes, got {total_processes}"
         )
-    missing = [s for s in STAGE_ORDER if s not in stage_seconds]
+    missing = [s for s in stages if s not in stage_seconds]
     if missing:
         raise ConfigurationError(f"missing stage times for: {missing}")
 
-    allocation = {stage: 1 for stage in STAGE_ORDER}
-    spare = total_processes - len(STAGE_ORDER)
+    scalable = [s for s in SCALABLE_STAGES if s in stages]
+    allocation = {stage: 1 for stage in stages}
+    spare = total_processes - len(stages)
     for _ in range(spare):
         # Water-filling: relieve the stage with the worst per-process time.
         worst = max(
-            SCALABLE_STAGES,
+            scalable,
             key=lambda s: stage_seconds[s] / allocation[s],
         )
         allocation[worst] += 1

@@ -28,6 +28,7 @@ import zlib
 from dataclasses import dataclass
 from typing import Callable, Hashable, Mapping
 
+from repro.core.plan import STAGE_ORDER
 from repro.errors import ConfigurationError, InjectedFault
 from repro.parallel.supervision import extract_entity_id
 
@@ -177,14 +178,24 @@ def wrap_stages(
 
     Returns the injectors keyed by stage name so callers can inspect their
     counters after a run.  Unknown stage names raise — a misspelled stage
-    would otherwise silently inject nothing.
+    would otherwise silently inject nothing.  The message distinguishes a
+    canonical stage (``STAGE_ORDER``) whose node the plan dropped from a
+    name that is not a stage at all, so a fault plan can't silently
+    desynchronize from a renamed stage.
     """
     if not faults:
         return {}
     unknown = [name for name in faults if name not in stage_fns]
     if unknown:
+        inactive = [name for name in unknown if name in STAGE_ORDER]
+        detail = (
+            f" ({inactive} are valid stages but not active in this plan)"
+            if inactive
+            else ""
+        )
         raise ConfigurationError(
-            f"fault plan names unknown stages {unknown}; have {sorted(stage_fns)}"
+            f"fault plan names unknown stages {unknown}; "
+            f"have {sorted(stage_fns)}{detail}"
         )
     injectors: dict[str, FaultInjector] = {}
     for name, spec in faults.items():

@@ -8,12 +8,18 @@ allocation of workers to stages solved by
 delay bound before each stage.
 
 Correctness under reordering: the block-building stage is the pipeline's
-serialization point, and it registers each profile in the shared profile
-store *before* emitting the entity downstream — therefore every partner id
-a comparison references is resolvable by the time load management looks it
-up, no matter how replicated stages interleave.  (The paper keeps the
-profile map strictly inside ``f_lm``; we hoist the *write* to the
-serializer for exactly this reason and let ``f_lm`` do lookups only.)
+serialization point (declared by the :class:`~repro.core.plan.PipelinePlan`),
+and it registers each profile in the shared profile store *before* emitting
+the entity downstream — therefore every partner id a comparison references
+is resolvable by the time load management looks it up, no matter how
+replicated stages interleave.  (The paper keeps the profile map strictly
+inside ``f_lm``; we hoist the *write* to the serializer for exactly this
+reason and let ``f_lm`` do lookups only.)  Additionally the serializer
+consumes entities through a :class:`_ReorderBuffer`: replicated ``f_dr``
+workers may overtake each other, and block-pruning verdicts depend on
+arrival history, so without re-sequencing the final match set would depend
+on thread scheduling.  Items dead-lettered upstream are declared as
+sequence holes so the serializer never waits for them.
 
 On CPython the GIL serializes pure-Python compute, so this executor
 demonstrates architecture and correctness rather than wall-clock speedup;
@@ -41,18 +47,9 @@ import time
 from dataclasses import dataclass, field
 from typing import Iterable
 
+from repro.core.backends import StateBackend
 from repro.core.config import StreamERConfig, SupervisionPolicy
-from repro.core.stages import (
-    STAGE_ORDER,
-    BlockBuildingStage,
-    BlockGhostingStage,
-    ClassificationStage,
-    ComparisonCleaningStage,
-    ComparisonGenerationStage,
-    ComparisonStage,
-    DataReadingStage,
-    LoadManagementStage,
-)
+from repro.core.plan import PipelinePlan
 from repro.errors import PipelineStoppedError
 from repro.parallel.allocation import allocate_processes, paper_example_times
 from repro.parallel.faults import FaultInjector, FaultPlan, wrap_stages
@@ -60,6 +57,55 @@ from repro.parallel.supervision import Supervisor, format_liveness
 from repro.types import DeadLetter, EntityDescription, Match
 
 _STOP = object()
+
+
+class _ReorderBuffer:
+    """Restores submission order in front of the serialization point.
+
+    Replicated upstream stages (``dr`` may run on several workers) can
+    deliver entities to the serializer out of submission order, and the
+    match set is *not* invariant to the order the block index sees —
+    pruning verdicts depend on arrival history.  The buffer holds early
+    arrivals until every predecessor has either arrived or been declared a
+    ``hole`` (dead-lettered upstream, so it will never arrive), making the
+    serializer's processing order equal to submission order deterministically
+    rather than by scheduling luck.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._pending: dict[int, tuple] = {}
+        self._holes: set[int] = set()
+        self._next = 0
+
+    def hole(self, seq: int) -> None:
+        """Declare that ``seq`` died upstream and will never arrive."""
+        with self._lock:
+            self._holes.add(seq)
+
+    def admit(self, seq: int, item: tuple) -> list[tuple]:
+        """Buffer one arrival; return every item now ready, in order."""
+        with self._lock:
+            self._pending[seq] = item
+            return self._drain_locked()
+
+    def drain_ready(self) -> list[tuple]:
+        """Items that became ready since the last call (holes filled in)."""
+        with self._lock:
+            return self._drain_locked()
+
+    def _drain_locked(self) -> list[tuple]:
+        ready: list[tuple] = []
+        while True:
+            if self._next in self._holes:
+                self._holes.discard(self._next)
+                self._next += 1
+                continue
+            item = self._pending.pop(self._next, None)
+            if item is None:
+                return ready
+            ready.append(item)
+            self._next += 1
 
 
 @dataclass
@@ -105,6 +151,8 @@ class _StageRunner:
         downstream_workers: int,
         supervisor: Supervisor,
         on_result=None,
+        reorder: "_ReorderBuffer | None" = None,
+        hole_sink: "_ReorderBuffer | None" = None,
     ) -> None:
         self.name = name
         self.fn = fn
@@ -116,6 +164,8 @@ class _StageRunner:
         self.downstream_workers = downstream_workers
         self.supervisor = supervisor
         self.on_result = on_result
+        self.reorder = reorder
+        self.hole_sink = hole_sink
         self._active = workers
         self._lock = threading.Lock()
         self.threads = [
@@ -148,6 +198,20 @@ class _StageRunner:
                 batch.append(item)
         return batch, False
 
+    def _execute(self, enqueue_time: float, seq: int, payload) -> None:
+        ok, result = self.supervisor.execute(self.name, self.fn, payload)
+        if not ok:
+            # Dead-lettered; surviving items flow on.  A death upstream of
+            # the serialization point is a permanent gap in the sequence —
+            # tell the serializer's reorder buffer not to wait for it.
+            if self.hole_sink is not None:
+                self.hole_sink.hole(seq)
+            return
+        if self.out_queue is not None:
+            self.out_queue.put((enqueue_time, seq, result))
+        elif self.on_result is not None:
+            self.on_result(enqueue_time, result)
+
     def _run(self) -> None:
         # The finally is the anti-deadlock guarantee: no matter how this
         # worker exits — clean _STOP, or an exception escaping the
@@ -156,16 +220,18 @@ class _StageRunner:
         try:
             while True:
                 batch, saw_stop = self._collect_batch()
-                for enqueue_time, payload in batch:
-                    ok, result = self.supervisor.execute(
-                        self.name, self.fn, payload
-                    )
-                    if not ok:
-                        continue  # dead-lettered; surviving items flow on
-                    if self.out_queue is not None:
-                        self.out_queue.put((enqueue_time, result))
-                    elif self.on_result is not None:
-                        self.on_result(enqueue_time, result)
+                for item in batch:
+                    if self.reorder is None:
+                        self._execute(*item)
+                        continue
+                    enqueue_time, seq, payload = item
+                    for ready in self.reorder.admit(seq, item):
+                        self._execute(*ready)
+                if self.reorder is not None:
+                    # Upstream holes are declared out of band; anything they
+                    # unblocked since the last arrival is runnable now.
+                    for ready in self.reorder.drain_ready():
+                        self._execute(*ready)
                 if saw_stop:
                     return
         finally:
@@ -218,6 +284,11 @@ class ParallelERPipeline:
         Optional fault-injection plan (stage name →
         :class:`~repro.parallel.faults.FaultSpec`); the wrapped injectors
         are exposed as ``fault_injectors`` for inspection.
+    backend:
+        Where the ER state lives (default: a fresh in-memory backend).
+    plan:
+        A pre-built :class:`~repro.core.plan.PipelinePlan` to compile; by
+        default one is derived from ``config``.
     """
 
     def __init__(
@@ -230,39 +301,42 @@ class ParallelERPipeline:
         queue_capacity: int = 1024,
         supervision: SupervisionPolicy | None = None,
         faults: FaultPlan | None = None,
+        backend: StateBackend | None = None,
+        plan: PipelinePlan | None = None,
     ) -> None:
-        self.config = config or StreamERConfig()
+        self.plan = plan if plan is not None else PipelinePlan.from_config(config)
+        self.config = self.plan.config
         self.supervisor = Supervisor(supervision)
+        names = self.plan.stage_names()
         self.allocation = allocate_processes(
-            stage_seconds or paper_example_times(), processes
+            stage_seconds or paper_example_times(), processes, stages=names
         )
-        cfg = self.config
-        self._lm = LoadManagementStage()
-        self._cl = ClassificationStage(cfg.classifier)
+        self.compiled = self.plan.compile(backend)
+        self.backend = self.compiled.backend
         self._cl_lock = threading.Lock()
-        bb = BlockBuildingStage(alpha=cfg.alpha, enabled=cfg.enable_block_cleaning)
-        profiles = self._lm.profiles
+        profiles = self.backend.profiles
 
-        def bb_and_register(profile):
-            # Serialization point: make the profile resolvable *before* any
-            # comparison referencing it can exist downstream.
-            profiles.put(profile)
-            return bb(profile)
+        stage_fns = self.compiled.stage_functions()
+        for point in self.plan.serialization_points():
+            inner = stage_fns[point]
+
+            def serialized(profile, _inner=inner):
+                # Serialization point: make the profile resolvable *before*
+                # any comparison referencing it can exist downstream.
+                profiles.put(profile)
+                return _inner(profile)
+
+            stage_fns[point] = serialized
+
+        cl_stage = stage_fns["cl"]
 
         def classify_locked(scored):
+            # The allocation may replicate ``cl``; the match-store owner
+            # stays correct under a single lock.
             with self._cl_lock:
-                return self._cl(scored)
+                return cl_stage(scored)
 
-        stage_fns = {
-            "dr": DataReadingStage(cfg.profile_builder),
-            "bb+bp": bb_and_register,
-            "bg": BlockGhostingStage(beta=cfg.beta, enabled=cfg.enable_block_cleaning),
-            "cg": ComparisonGenerationStage(clean_clean=cfg.clean_clean),
-            "cc": ComparisonCleaningStage(enabled=cfg.enable_comparison_cleaning),
-            "lm": self._lm,
-            "co": ComparisonStage(cfg.comparator),
-            "cl": classify_locked,
-        }
+        stage_fns["cl"] = classify_locked
         self.fault_injectors: dict[str, FaultInjector] = wrap_stages(
             stage_fns, faults
         )
@@ -277,14 +351,26 @@ class ParallelERPipeline:
                 self._matches.extend(matches)
                 self._latencies.append(time.perf_counter() - enqueue_time)
 
-        queues = [queue.Queue(maxsize=queue_capacity) for _ in STAGE_ORDER]
+        # Deterministic ordering at the serialization point: replicated
+        # upstream workers may overtake each other, so the serializer pulls
+        # arrivals through a reorder buffer keyed by submission sequence,
+        # and upstream dead letters are declared as holes.
+        ser_points = self.plan.serialization_points()
+        first_ser = ser_points[0] if ser_points else None
+        self._sequencer = _ReorderBuffer() if first_ser is not None else None
+        pre_serial = (
+            set(names[: names.index(first_ser)]) if first_ser is not None else set()
+        )
+
+        queues = [queue.Queue(maxsize=queue_capacity) for _ in names]
         self._input: "queue.Queue" = queues[0]
+        self._seq = 0
         self._runners: list[_StageRunner] = []
-        for index, name in enumerate(STAGE_ORDER):
-            out_queue = queues[index + 1] if index + 1 < len(STAGE_ORDER) else None
+        for index, name in enumerate(names):
+            out_queue = queues[index + 1] if index + 1 < len(names) else None
             downstream = (
-                self.allocation[STAGE_ORDER[index + 1]]
-                if index + 1 < len(STAGE_ORDER)
+                self.allocation[names[index + 1]]
+                if index + 1 < len(names)
                 else 0
             )
             self._runners.append(
@@ -299,6 +385,8 @@ class ParallelERPipeline:
                     downstream_workers=downstream,
                     supervisor=self.supervisor,
                     on_result=on_final if out_queue is None else None,
+                    reorder=self._sequencer if name == first_ser else None,
+                    hole_sink=self._sequencer if name in pre_serial else None,
                 )
             )
         self._started = False
@@ -317,8 +405,10 @@ class ParallelERPipeline:
         if self._closed:
             raise PipelineStoppedError("pipeline already closed")
         self.start()
+        seq = self._seq
+        self._seq += 1
         self._entities_in += 1
-        self._input.put((time.perf_counter(), entity))
+        self._input.put((time.perf_counter(), seq, entity))
 
     def close(self, timeout: float | None = None) -> None:
         """Signal end of input; idempotent.

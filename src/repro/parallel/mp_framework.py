@@ -34,18 +34,11 @@ from dataclasses import dataclass, field
 from typing import Iterable, Iterator
 
 from repro.comparison.comparator import TokenSetComparator
+from repro.core.backends import StateBackend
 from repro.core.config import StreamERConfig, SupervisionPolicy
 from repro.core.pipeline import ERResult
-from repro.core.stages import (
-    BlockBuildingStage,
-    BlockGhostingStage,
-    ClassificationStage,
-    ComparisonCleaningStage,
-    ComparisonGenerationStage,
-    DataReadingStage,
-    LoadManagementStage,
-    ScoredComparisons,
-)
+from repro.core.plan import PipelinePlan
+from repro.core.stages import ScoredComparisons
 from repro.errors import ConfigurationError
 from repro.parallel.faults import FaultInjector, FaultPlan, FaultSpec
 from repro.parallel.supervision import Supervisor
@@ -57,9 +50,6 @@ from repro.types import (
     ScoredComparison,
     pair_key,
 )
-
-#: Front stages executed in the parent, in order (``f_dr`` .. ``f_lm``).
-_FRONT_STAGES: tuple[str, ...] = ("dr", "bb+bp", "bg", "cg", "cc", "lm")
 
 # Worker-process state, installed once per worker by the pool initializer.
 _worker_comparator: TokenSetComparator | None = None
@@ -136,6 +126,14 @@ class MultiprocessERPipeline:
         Optional fault-injection plan.  A spec for ``"co"`` is shipped to
         the worker processes (it must stay picklable); specs for front
         stages wrap the parent-side stage callables.
+    backend:
+        Where the parent-side ER state lives (default: a fresh in-memory
+        backend).  A :class:`~repro.core.backends.ShardedBackend` keeps
+        block/profile/match access partitioned while the comparison load
+        runs on the process pool.
+    plan:
+        A pre-built :class:`~repro.core.plan.PipelinePlan` to compile; by
+        default one is derived from ``config``.
     """
 
     def __init__(
@@ -145,26 +143,34 @@ class MultiprocessERPipeline:
         chunk_size: int = 256,
         supervision: SupervisionPolicy | None = None,
         faults: FaultPlan | None = None,
+        backend: StateBackend | None = None,
+        plan: PipelinePlan | None = None,
     ) -> None:
         if workers < 1:
             raise ConfigurationError("workers must be >= 1")
         if chunk_size < 1:
             raise ConfigurationError("chunk_size must be >= 1")
-        self.config = config or StreamERConfig()
+        self.plan = plan if plan is not None else PipelinePlan.from_config(config)
+        self.config = self.plan.config
         self.workers = workers
         self.chunk_size = chunk_size
         self.supervisor = Supervisor(supervision)
-        cfg = self.config
-        self.dr = DataReadingStage(cfg.profile_builder)
-        self.bb = BlockBuildingStage(alpha=cfg.alpha, enabled=cfg.enable_block_cleaning)
-        self.bg = BlockGhostingStage(beta=cfg.beta, enabled=cfg.enable_block_cleaning)
-        self.cg = ComparisonGenerationStage(clean_clean=cfg.clean_clean)
-        self.cc = ComparisonCleaningStage(enabled=cfg.enable_comparison_cleaning)
-        self.lm = LoadManagementStage()
-        self.cl = ClassificationStage(cfg.classifier)
+        self.compiled = self.plan.compile(backend)
+        self.backend = self.compiled.backend
+        # The active front (``co`` runs on the pool, ``cl`` in the parent
+        # below); optional nodes the plan dropped are simply absent.
+        self._front_stages = self.plan.front_stage_names()
+        self.dr = self.compiled.get("dr")
+        self.bb = self.compiled.get("bb+bp")
+        self.bg = self.compiled.get("bg")
+        self.cg = self.compiled.get("cg")
+        self.cc = self.compiled.get("cc")
+        self.lm = self.compiled.get("lm")
+        self.cl = self.compiled.get("cl")
         self._fns: dict[str, object] = {
-            "dr": self.dr, "bb+bp": self.bb, "bg": self.bg, "cg": self.cg,
-            "cc": self.cc, "lm": self.lm, "cl": self.cl,
+            name: fn
+            for name, fn in self.compiled.stage_functions().items()
+            if name != "co"
         }
         faults = dict(faults) if faults else {}
         self._worker_fault_spec = faults.pop("co", None)
@@ -191,7 +197,7 @@ class MultiprocessERPipeline:
         for entity in entities:
             message: object = entity
             ok = True
-            for name in _FRONT_STAGES:
+            for name in self._front_stages:
                 ok, message = self.supervisor.execute(
                     name, self._fns[name], message  # type: ignore[arg-type]
                 )
@@ -264,9 +270,9 @@ class MultiprocessERPipeline:
             entities_processed=count_in[0],
             matches=matches,
             comparisons_generated=self.cg.generated,
-            comparisons_after_cleaning=self.cc.retained,
+            comparisons_after_cleaning=self.lm.materialized,
             blocks_pruned=self.bb.pruned_blocks,
-            keys_ghosted=self.bg.ghosted_keys,
+            keys_ghosted=self.bg.ghosted_keys if self.bg is not None else 0,
             elapsed_seconds=time.perf_counter() - start,
             items_failed=self.supervisor.items_failed,
             retries=self.supervisor.retries_performed,

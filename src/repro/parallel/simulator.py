@@ -36,7 +36,7 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import Sequence
 
-from repro.core.stages import STAGE_ORDER
+from repro.core.plan import STAGE_ORDER, PipelinePlan
 from repro.errors import ConfigurationError
 
 
@@ -241,15 +241,27 @@ class _Stage:
 
 
 class PipelineSimulator:
-    """Event-driven simulator of the eight-stage parallel framework."""
+    """Event-driven simulator of the parallel framework's stage graph.
+
+    The simulated topology comes from a
+    :class:`~repro.core.plan.PipelinePlan` — the same declarative graph the
+    real executors compile — so disabling an optional stage via the config
+    drops its node from the simulation exactly as it does everywhere else.
+    Without an explicit ``plan`` the full eight-stage graph is simulated.
+    """
 
     def __init__(
         self,
         allocation: dict[str, int],
         service: ServiceModel,
         config: SimulatorConfig | None = None,
+        plan: PipelinePlan | None = None,
     ) -> None:
-        missing = [s for s in STAGE_ORDER if s not in allocation]
+        self.plan = plan
+        self.stage_names: tuple[str, ...] = (
+            plan.stage_names() if plan is not None else STAGE_ORDER
+        )
+        missing = [s for s in self.stage_names if s not in allocation]
         if missing:
             raise ConfigurationError(f"allocation missing stages: {missing}")
         self.allocation = dict(allocation)
@@ -275,7 +287,7 @@ class PipelineSimulator:
         cfg = self.config
         stages = [
             _Stage(name, self.allocation[name], cfg.buffer_capacity)
-            for name in STAGE_ORDER
+            for name in self.stage_names
         ]
         for a, b in zip(stages, stages[1:]):
             a.next = b

@@ -19,6 +19,7 @@ from dataclasses import dataclass, field
 from typing import Iterable, Sequence
 
 from repro.core.config import StreamERConfig
+from repro.core.plan import PipelinePlan
 from repro.evaluation.metrics import LatencySummary, throughput_series
 from repro.parallel.framework import ParallelERPipeline
 from repro.parallel.simulator import (
@@ -80,6 +81,7 @@ class LiveStreamRunner:
         stage_seconds: dict[str, float] | None = None,
     ) -> None:
         self.config = config
+        self.plan = PipelinePlan.from_config(config)
         self.processes = processes
         self.micro_batch_size = micro_batch_size
         self.stage_seconds = stage_seconds
@@ -91,7 +93,7 @@ class LiveStreamRunner:
         window: float = 1.0,
     ) -> StreamRunReport:
         pipeline = ParallelERPipeline(
-            self.config,
+            plan=self.plan,
             processes=self.processes,
             stage_seconds=self.stage_seconds,
             micro_batch_size=self.micro_batch_size,

@@ -39,13 +39,11 @@ class UpdateAwareERPipeline:
         return self._version.get(eid, 0)
 
     def _evict(self, eid: EntityId) -> None:
+        # discard() keeps the collection's O(1) size counters in sync and
+        # drops blocks that become empty.
         blocks = self.pipeline.bb.blocks
         for key in self._keys_of.pop(eid, frozenset()):
-            members = blocks.block(key)
-            if eid in members:
-                members.remove(eid)
-                if not members:
-                    blocks.remove_block(key)
+            blocks.discard(key, eid)
         self.pipeline.lm.profiles.remove(eid)
 
     def process(self, entity: EntityDescription) -> list[Match]:

@@ -59,14 +59,13 @@ class SlidingWindowERPipeline:
         return list(self._order)
 
     def _evict(self, eid: EntityId) -> None:
+        # discard() keeps the collection's O(1) size counters in sync and
+        # drops blocks that become empty; mutating block lists in place
+        # would silently corrupt them.
         blocks = self.pipeline.bb.blocks
         for key in self._keys_of.pop(eid, frozenset()):
-            members = blocks.block(key)
-            if eid in members:
-                members.remove(eid)
+            if blocks.discard(key, eid):
                 self.stats.removed_assignments += 1
-                if not members:
-                    blocks.remove_block(key)
         # Profile-map entry: drop so memory stays bounded.
         self.pipeline.lm.profiles.remove(eid)
         self.stats.evicted_entities += 1

@@ -1,0 +1,192 @@
+"""PipelinePlan: the one stage graph every executor compiles.
+
+The plan is built once from a ``StreamERConfig`` and handed to all four
+executors; these tests pin down (a) the paper's eight-stage order in every
+executor, (b) that disabling ``f_bg`` / ``f_cc`` via config drops exactly
+those nodes — again in every executor — and (c) the plan/compiled-pipeline
+API surface the executors rely on.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import StreamERConfig, StreamERPipeline
+from repro.core.backends import InMemoryBackend
+from repro.core.plan import STAGE_ORDER, CompiledPipeline, PipelinePlan
+from repro.errors import ConfigurationError
+from repro.parallel import MultiprocessERPipeline, ParallelERPipeline, PipelineSimulator
+from repro.parallel.simulator import ServiceModel
+
+
+def full_config(**overrides) -> StreamERConfig:
+    return StreamERConfig(alpha=10, beta=0.05, **overrides)
+
+
+def service_model() -> ServiceModel:
+    return ServiceModel(mean_seconds={name: 1e-4 for name in STAGE_ORDER})
+
+
+class TestPlanConstruction:
+    def test_default_plan_has_all_eight_stages(self):
+        plan = PipelinePlan.from_config(full_config())
+        assert plan.stage_names() == STAGE_ORDER
+
+    def test_disable_block_cleaning_drops_exactly_bg(self):
+        plan = PipelinePlan.from_config(full_config(enable_block_cleaning=False))
+        assert plan.stage_names() == tuple(n for n in STAGE_ORDER if n != "bg")
+
+    def test_disable_comparison_cleaning_drops_exactly_cc(self):
+        plan = PipelinePlan.from_config(full_config(enable_comparison_cleaning=False))
+        assert plan.stage_names() == tuple(n for n in STAGE_ORDER if n != "cc")
+
+    def test_disable_both_drops_both(self):
+        plan = PipelinePlan.from_config(
+            full_config(enable_block_cleaning=False, enable_comparison_cleaning=False)
+        )
+        assert plan.stage_names() == tuple(
+            n for n in STAGE_ORDER if n not in ("bg", "cc")
+        )
+
+    def test_contains_and_spec(self):
+        plan = PipelinePlan.from_config(full_config(enable_block_cleaning=False))
+        assert "cc" in plan
+        assert "bg" not in plan
+        assert plan.spec("cc").name == "cc"
+        with pytest.raises(ConfigurationError):
+            plan.spec("bg")
+        with pytest.raises(ConfigurationError):
+            plan.spec("nonsense")
+
+    def test_serialization_points_and_replicability(self):
+        plan = PipelinePlan.from_config(full_config())
+        assert plan.serialization_points() == ("bb+bp",)
+        assert plan.non_replicable_stages() == ("bb+bp",)
+
+    def test_front_stage_names_exclude_co_and_cl(self):
+        plan = PipelinePlan.from_config(full_config())
+        assert plan.front_stage_names() == ("dr", "bb+bp", "bg", "cg", "cc", "lm")
+
+
+class TestPlanCompilation:
+    def test_compile_yields_stage_per_active_node(self):
+        compiled = PipelinePlan.from_config(full_config()).compile()
+        assert isinstance(compiled, CompiledPipeline)
+        assert compiled.names == STAGE_ORDER
+        assert [name for name, _ in compiled.ordered()] == list(STAGE_ORDER)
+
+    def test_get_returns_none_for_dropped_node(self):
+        compiled = PipelinePlan.from_config(
+            full_config(enable_block_cleaning=False)
+        ).compile()
+        assert compiled.get("bg") is None
+        assert compiled.get("cc") is not None
+        with pytest.raises(ConfigurationError):
+            compiled.stage("bg")
+
+    def test_stage_functions_match_active_names(self):
+        plan = PipelinePlan.from_config(full_config(enable_comparison_cleaning=False))
+        fns = plan.compile().stage_functions()
+        assert tuple(fns) == plan.stage_names()
+        assert all(callable(fn) for fn in fns.values())
+
+    def test_compile_threads_backend_through_stages(self):
+        backend = InMemoryBackend()
+        compiled = PipelinePlan.from_config(full_config()).compile(backend)
+        assert compiled.backend is backend
+        assert compiled.stage("bb+bp").blocks is backend.blocks
+        assert compiled.stage("lm").profiles is backend.profiles
+        assert compiled.stage("cl").matches is backend.matches
+
+
+class TestExecutorsShareThePlan:
+    """All four executors derive their stage topology from the same plan."""
+
+    @pytest.mark.parametrize(
+        "overrides,expected",
+        [
+            ({}, STAGE_ORDER),
+            (
+                {"enable_block_cleaning": False},
+                tuple(n for n in STAGE_ORDER if n != "bg"),
+            ),
+            (
+                {"enable_comparison_cleaning": False},
+                tuple(n for n in STAGE_ORDER if n != "cc"),
+            ),
+        ],
+    )
+    def test_sequential(self, overrides, expected):
+        pipeline = StreamERPipeline(full_config(**overrides), instrument=False)
+        assert pipeline.compiled.names == expected
+
+    @pytest.mark.parametrize(
+        "overrides,expected",
+        [
+            ({}, STAGE_ORDER),
+            (
+                {"enable_block_cleaning": False},
+                tuple(n for n in STAGE_ORDER if n != "bg"),
+            ),
+            (
+                {"enable_comparison_cleaning": False},
+                tuple(n for n in STAGE_ORDER if n != "cc"),
+            ),
+        ],
+    )
+    def test_thread_framework(self, overrides, expected):
+        pipeline = ParallelERPipeline(full_config(**overrides), processes=len(expected))
+        assert pipeline.plan.stage_names() == expected
+        assert pipeline.compiled.names == expected
+
+    @pytest.mark.parametrize(
+        "overrides,expected",
+        [
+            ({}, STAGE_ORDER),
+            (
+                {"enable_block_cleaning": False},
+                tuple(n for n in STAGE_ORDER if n != "bg"),
+            ),
+            (
+                {"enable_comparison_cleaning": False},
+                tuple(n for n in STAGE_ORDER if n != "cc"),
+            ),
+        ],
+    )
+    def test_multiprocess_framework(self, overrides, expected):
+        pipeline = MultiprocessERPipeline(full_config(**overrides), workers=1)
+        assert pipeline.plan.stage_names() == expected
+        assert pipeline.compiled.names == expected
+
+    @pytest.mark.parametrize(
+        "overrides,expected",
+        [
+            ({}, STAGE_ORDER),
+            (
+                {"enable_block_cleaning": False},
+                tuple(n for n in STAGE_ORDER if n != "bg"),
+            ),
+            (
+                {"enable_comparison_cleaning": False},
+                tuple(n for n in STAGE_ORDER if n != "cc"),
+            ),
+        ],
+    )
+    def test_simulator(self, overrides, expected):
+        plan = PipelinePlan.from_config(full_config(**overrides))
+        allocation = {name: 1 for name in expected}
+        simulator = PipelineSimulator(allocation, service_model(), plan=plan)
+        assert simulator.stage_names == expected
+
+    def test_simulator_defaults_to_full_stage_order(self):
+        allocation = {name: 1 for name in STAGE_ORDER}
+        simulator = PipelineSimulator(allocation, service_model())
+        assert simulator.stage_names == STAGE_ORDER
+
+    def test_shared_plan_instance_is_reused(self):
+        plan = PipelinePlan.from_config(full_config())
+        seq = StreamERPipeline(plan=plan, instrument=False)
+        par = ParallelERPipeline(plan=plan, processes=8)
+        assert seq.plan is plan
+        assert par.plan is plan
+        assert seq.config is plan.config

@@ -24,6 +24,7 @@ import pytest
 
 from repro.classification import OracleClassifier
 from repro.core import StreamERConfig, StreamERPipeline, SupervisionPolicy
+from repro.core.backends import ShardedBackend
 from repro.datasets import DatasetSpec, generate
 from repro.parallel import FaultSpec, MultiprocessERPipeline, ParallelERPipeline
 
@@ -204,6 +205,105 @@ class TestFaultsAtComparison:
         dead_pairs = result.dead_letter_ids
         assert dead_pairs
         expected = sequential_pairs(seeded_dirty) - dead_pairs
+        assert result.match_pairs == expected
+
+
+class TestShardedBackendEquivalence:
+    """Hash-sharded state is a pure representation change: for any shard
+    count, every executor must produce exactly the match set of the
+    in-memory backend — on dirty and clean-clean data, and with faults."""
+
+    @pytest.mark.parametrize("shards", [1, 2, 7])
+    def test_sequential_dirty(self, seeded_dirty, shards):
+        expected = sequential_pairs(seeded_dirty)
+        sharded = StreamERPipeline(
+            config_for(seeded_dirty),
+            instrument=False,
+            backend=ShardedBackend(shards),
+        )
+        sharded.process_many(seeded_dirty.stream())
+        assert sharded.cl.matches.pairs() == expected
+
+    @pytest.mark.parametrize("shards", [1, 2, 7])
+    def test_sequential_clean_clean(self, seeded_clean, shards):
+        expected = sequential_pairs(seeded_clean)
+        sharded = StreamERPipeline(
+            config_for(seeded_clean),
+            instrument=False,
+            backend=ShardedBackend(shards),
+        )
+        sharded.process_many(seeded_clean.stream())
+        assert sharded.cl.matches.pairs() == expected
+
+    @pytest.mark.parametrize("shards", [1, 2, 7])
+    def test_thread_framework_dirty(self, seeded_dirty, shards):
+        expected = sequential_pairs(seeded_dirty)
+        parallel = ParallelERPipeline(
+            config_for(seeded_dirty),
+            processes=12,
+            micro_batch_size=25,
+            backend=ShardedBackend(shards),
+        )
+        result = parallel.run(seeded_dirty.stream(), timeout=RUN_TIMEOUT)
+        assert result.match_pairs == expected
+        assert result.items_failed == 0
+
+    @pytest.mark.parametrize("shards", [1, 2, 7])
+    def test_thread_framework_clean_clean(self, seeded_clean, shards):
+        expected = sequential_pairs(seeded_clean)
+        parallel = ParallelERPipeline(
+            config_for(seeded_clean),
+            processes=12,
+            backend=ShardedBackend(shards),
+        )
+        result = parallel.run(seeded_clean.stream(), timeout=RUN_TIMEOUT)
+        assert result.match_pairs == expected
+
+    @pytest.mark.parametrize("shards", [2, 7])
+    def test_multiprocess_framework(self, seeded_dirty, shards):
+        expected = sequential_pairs(seeded_dirty)
+        mp = MultiprocessERPipeline(
+            config_for(seeded_dirty),
+            workers=2,
+            chunk_size=64,
+            backend=ShardedBackend(shards),
+        )
+        result = mp.run(seeded_dirty.stream())
+        assert result.match_pairs == expected
+        assert result.items_failed == 0
+
+    @pytest.mark.parametrize("shards", [2, 7])
+    def test_faults_at_ingest(self, seeded_dirty, shards):
+        parallel = ParallelERPipeline(
+            config_for(seeded_dirty),
+            processes=12,
+            micro_batch_size=25,
+            supervision=SupervisionPolicy.none(),
+            faults={"dr": FaultSpec(probability=0.2, seed=99)},
+            backend=ShardedBackend(shards),
+        )
+        result = parallel.run(seeded_dirty.stream(), timeout=RUN_TIMEOUT)
+        dead = result.dead_letter_ids
+        assert dead
+        survivors = [e for e in seeded_dirty.stream() if e.eid not in dead]
+        assert result.match_pairs == sequential_pairs(seeded_dirty, survivors)
+
+    @pytest.mark.parametrize("shards", [2, 7])
+    def test_faults_at_comparison(self, seeded_dirty, shards):
+        parallel = ParallelERPipeline(
+            config_for(seeded_dirty),
+            processes=12,
+            micro_batch_size=25,
+            supervision=SupervisionPolicy.none(),
+            faults={"co": FaultSpec(probability=0.3, seed=17)},
+            backend=ShardedBackend(shards),
+        )
+        result = parallel.run(seeded_dirty.stream(), timeout=RUN_TIMEOUT)
+        dead = result.dead_letter_ids
+        assert dead
+        expected = TestFaultsAtComparison._expected(
+            TestFaultsAtComparison(), seeded_dirty, dead
+        )
         assert result.match_pairs == expected
 
 

@@ -83,3 +83,60 @@ class TestLifecycle:
         result = parallel.run([])
         assert result.entities_processed == 0
         assert result.matches == []
+
+
+class TestReorderBuffer:
+    """The serializer's re-sequencing: submission order, holes, drains."""
+
+    def test_in_order_arrivals_flow_straight_through(self):
+        from repro.parallel.framework import _ReorderBuffer
+
+        buffer = _ReorderBuffer()
+        for seq in range(5):
+            ready = buffer.admit(seq, (0.0, seq, f"e{seq}"))
+            assert [r[1] for r in ready] == [seq]
+
+    def test_out_of_order_arrivals_are_buffered_until_ready(self):
+        from repro.parallel.framework import _ReorderBuffer
+
+        buffer = _ReorderBuffer()
+        assert buffer.admit(2, (0.0, 2, "e2")) == []
+        assert buffer.admit(1, (0.0, 1, "e1")) == []
+        ready = buffer.admit(0, (0.0, 0, "e0"))
+        assert [r[1] for r in ready] == [0, 1, 2]
+
+    def test_holes_never_block_later_items(self):
+        from repro.parallel.framework import _ReorderBuffer
+
+        buffer = _ReorderBuffer()
+        assert buffer.admit(1, (0.0, 1, "e1")) == []
+        buffer.hole(0)
+        ready = buffer.drain_ready()
+        assert [r[1] for r in ready] == [1]
+
+    def test_hole_declared_before_arrivals(self):
+        from repro.parallel.framework import _ReorderBuffer
+
+        buffer = _ReorderBuffer()
+        buffer.hole(0)
+        buffer.hole(2)
+        assert [r[1] for r in buffer.admit(1, (0.0, 1, "e1"))] == [1]
+        assert [r[1] for r in buffer.admit(3, (0.0, 3, "e3"))] == [3]
+
+    def test_serializer_sees_submission_order_despite_replicated_dr(
+        self, tiny_dirty_dataset
+    ):
+        ds = tiny_dirty_dataset
+        seen: list = []
+        pipeline = ParallelERPipeline(config_for(ds), processes=16)
+        assert pipeline.allocation["dr"] >= 1
+        inner_bb = pipeline._runners[1].fn
+
+        def spying_bb(profile, _inner=inner_bb):
+            seen.append(profile.eid)
+            return _inner(profile)
+
+        pipeline._runners[1].fn = spying_bb
+        entities = list(ds.stream())
+        pipeline.run(entities)
+        assert seen == [e.eid for e in entities]
