@@ -1,6 +1,14 @@
 """Comparison substrate: similarity measures and profile comparators."""
 
 from repro.comparison.comparator import AttributeWeightedComparator, TokenSetComparator
+from repro.comparison.kernel import (
+    InternedComparator,
+    galloping_intersect_size,
+    intersect_size,
+    merge_intersect_size,
+    similarity_bound,
+    similarity_from_intersection,
+)
 from repro.comparison.tfidf import IncrementalTfIdfComparator
 from repro.comparison.similarity import (
     SET_SIMILARITIES,
@@ -20,7 +28,13 @@ from repro.comparison.similarity import (
 __all__ = [
     "TokenSetComparator",
     "AttributeWeightedComparator",
+    "InternedComparator",
     "IncrementalTfIdfComparator",
+    "similarity_bound",
+    "similarity_from_intersection",
+    "intersect_size",
+    "merge_intersect_size",
+    "galloping_intersect_size",
     "jaccard",
     "dice",
     "overlap",

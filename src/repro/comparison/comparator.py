@@ -38,17 +38,38 @@ class AttributeWeightedComparator:
 
     Falls back to whole-profile token similarity when the two profiles share
     no attribute names (the common case with heterogeneous data).
+
+    The per-profile attribute index (name → token set) is memoized: a
+    profile is compared against every candidate partner it shares a block
+    with, so rebuilding the index on each call did the same splitting work
+    dozens of times per entity.  The cache is keyed by object identity and
+    pins the profile object itself, so an entry can never be confused with
+    a different profile that happens to reuse a freed id; it is bounded and
+    cleared wholesale when full (the streaming posture: recent profiles are
+    the ones being compared).
     """
 
     similarity: SetSimilarity = field(default=jaccard)
+    cache_size: int = 8192
+    _index_cache: dict[int, tuple[Profile, dict[str, set[str]]]] = field(
+        default_factory=dict, repr=False, compare=False
+    )
+
+    def _attribute_index(self, profile: Profile) -> dict[str, set[str]]:
+        entry = self._index_cache.get(id(profile))
+        if entry is not None and entry[0] is profile:
+            return entry[1]
+        by_name: dict[str, set[str]] = {}
+        for name, value in profile.attributes:
+            by_name.setdefault(name, set()).update(value.split())
+        if len(self._index_cache) >= self.cache_size:
+            self._index_cache.clear()
+        self._index_cache[id(profile)] = (profile, by_name)
+        return by_name
 
     def score(self, left: Profile, right: Profile) -> float:
-        left_by_name: dict[str, set[str]] = {}
-        for name, value in left.attributes:
-            left_by_name.setdefault(name, set()).update(value.split())
-        right_by_name: dict[str, set[str]] = {}
-        for name, value in right.attributes:
-            right_by_name.setdefault(name, set()).update(value.split())
+        left_by_name = self._attribute_index(left)
+        right_by_name = self._attribute_index(right)
         shared = set(left_by_name) & set(right_by_name)
         if not shared:
             return self.similarity(left.tokens, right.tokens)

@@ -1,0 +1,389 @@
+"""The interned comparison kernel: batched, prefiltered, threshold-aware.
+
+``f_co`` dominates the pipeline's runtime (Figure 6), and the profiling of
+the string-set path shows *where* the time goes: per-pair method dispatch
+through ``comparator.compare``, a :class:`~repro.types.ScoredComparison`
+allocation for every candidate — match or not — and the set intersection
+itself.  This module applies the three standard levers of the
+set-similarity-join literature end to end:
+
+1. **Integer interning** — profiles carry ``token_ids`` (dense int sets
+   produced by the :class:`~repro.reading.interning.TokenDictionary` at
+   ``f_dr``), so similarity math runs on compact int sets and multiprocess
+   payloads shrink from kilobytes of pickled strings to a few dozen bytes
+   of machine integers.
+2. **Length prefiltering** — for every cardinality-based measure there is a
+   closed-form upper bound on the achievable similarity given only the two
+   set sizes (e.g. ``min/max`` for Jaccard).  Pairs whose bound is already
+   below the classification threshold are skipped *before* any
+   intersection is computed.  The bound is exact algebra, not a heuristic,
+   so the surviving match set is provably identical.
+3. **Threshold-aware verification** — when the classification threshold is
+   known, pairs whose *computed* similarity falls below it are dropped
+   inside the kernel: no ``ScoredComparison`` is allocated and ``f_cl``
+   never iterates them.  Since a threshold classifier rejects exactly
+   those pairs, the match set is again byte-identical; only the
+   non-match bookkeeping disappears.
+
+The sorted-array intersection helpers (merge / galloping / numpy) back the
+multiprocess worker path, which receives sorted id arrays off the wire; the
+in-process hot loop uses frozenset intersection, which measures fastest for
+the small token sets typical of entity profiles (CPython set ops are C
+loops, and galloping only pays off for heavily skewed large sets).
+
+Safety argument for the prefilter (``docs/performance.md`` repeats this
+with the full derivation): with ``m = min(|a|, |b|)``, ``M = max(|a|, |b|)``
+and ``i = |a ∩ b| ≤ m``,
+
+* Jaccard ``i / (|a|+|b|-i)`` is increasing in ``i``, so ≤ ``m / M``;
+* Dice ``2i / (|a|+|b|)`` ≤ ``2m / (|a|+|b|)``;
+* Cosine ``i / sqrt(|a|·|b|)`` ≤ ``m / sqrt(mM) = sqrt(m/M)``;
+* Overlap ``i / m`` ≤ 1 — no length bound exists, the prefilter never
+  fires for it.
+
+A pair skipped by the prefilter therefore *cannot* reach the threshold.
+"""
+
+from __future__ import annotations
+
+import math
+from bisect import bisect_left
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.comparison.similarity import SET_SIMILARITIES
+from repro.errors import ConfigurationError
+from repro.types import Comparison, Profile, ScoredComparison
+
+__all__ = [
+    "InternedComparator",
+    "similarity_bound",
+    "similarity_from_intersection",
+    "intersect_size",
+    "merge_intersect_size",
+    "galloping_intersect_size",
+]
+
+# --------------------------------------------------------------------------
+# Sorted-array intersection (worker-side payloads, large/skewed sets)
+
+#: Below this combined size, plain merge beats numpy's call overhead.
+_NUMPY_MIN_SIZE = 256
+#: Size ratio beyond which per-element binary search (galloping) wins.
+_GALLOP_RATIO = 16
+
+
+def merge_intersect_size(a: Sequence[int], b: Sequence[int]) -> int:
+    """|a ∩ b| of two *sorted, duplicate-free* sequences by linear merge."""
+    i = j = size = 0
+    la, lb = len(a), len(b)
+    while i < la and j < lb:
+        x = a[i]
+        y = b[j]
+        if x == y:
+            size += 1
+            i += 1
+            j += 1
+        elif x < y:
+            i += 1
+        else:
+            j += 1
+    return size
+
+
+def galloping_intersect_size(small: Sequence[int], large: Sequence[int]) -> int:
+    """|small ∩ large| by binary-searching each element of the smaller side.
+
+    O(|small| · log |large|) — the winning strategy when one side is much
+    larger than the other (hub entities in oversized blocks).
+    """
+    size = 0
+    lo = 0
+    hi = len(large)
+    for x in small:
+        lo = bisect_left(large, x, lo, hi)
+        if lo == hi:
+            break
+        if large[lo] == x:
+            size += 1
+            lo += 1
+    return size
+
+
+def intersect_size(a: Sequence[int], b: Sequence[int]) -> int:
+    """|a ∩ b| of two sorted, duplicate-free int sequences.
+
+    Picks the strategy by size and skew: numpy's vectorized
+    ``intersect1d`` for large inputs, galloping binary search for heavily
+    skewed ones, linear merge otherwise.
+    """
+    la, lb = len(a), len(b)
+    if la > lb:
+        a, b, la, lb = b, a, lb, la
+    if la == 0:
+        return 0
+    if la + lb >= _NUMPY_MIN_SIZE and la * _GALLOP_RATIO > lb:
+        return int(
+            np.intersect1d(
+                np.asarray(a, dtype=np.int64),
+                np.asarray(b, dtype=np.int64),
+                assume_unique=True,
+            ).size
+        )
+    if la * _GALLOP_RATIO <= lb:
+        return galloping_intersect_size(a, b)
+    return merge_intersect_size(a, b)
+
+
+# --------------------------------------------------------------------------
+# Length-based similarity bounds
+
+
+def _jaccard_bound(la: int, lb: int) -> float:
+    return (la / lb) if la <= lb else (lb / la)
+
+
+def _dice_bound(la: int, lb: int) -> float:
+    return 2.0 * min(la, lb) / (la + lb)
+
+
+def _cosine_bound(la: int, lb: int) -> float:
+    return math.sqrt(_jaccard_bound(la, lb))
+
+
+def _overlap_bound(la: int, lb: int) -> float:
+    return 1.0
+
+
+_BOUNDS: dict[str, Callable[[int, int], float]] = {
+    "jaccard": _jaccard_bound,
+    "dice": _dice_bound,
+    "cosine": _cosine_bound,
+    "overlap": _overlap_bound,
+}
+
+
+def similarity_bound(measure: str, la: int, lb: int) -> float:
+    """Upper bound on ``measure`` given only the two (nonzero) set sizes."""
+    return _BOUNDS[measure](la, lb)
+
+
+def similarity_from_intersection(measure: str, inter: int, la: int, lb: int) -> float:
+    """The measure's value from an intersection size and the two set sizes.
+
+    Every supported measure is a function of ``(|a ∩ b|, |a|, |b|)`` alone,
+    which is what lets the multiprocess worker score packed id *arrays*
+    without materializing sets.  The arithmetic mirrors
+    :mod:`repro.comparison.similarity` expression for expression (including
+    the two-empty-sets convention of 1.0), so results are bit-identical to
+    the set-based functions.
+    """
+    if not la and not lb:
+        return 1.0
+    if measure == "jaccard":
+        union = la + lb - inter
+        return inter / union if union else 0.0
+    if measure == "dice":
+        return 2.0 * inter / (la + lb)
+    if measure == "overlap":
+        denom = min(la, lb)
+        return inter / denom if denom else 0.0
+    if measure == "cosine":
+        denom = math.sqrt(la * lb)
+        return inter / denom if denom else 0.0
+    known = ", ".join(sorted(_BOUNDS))
+    raise ConfigurationError(f"unknown measure {measure!r}; expected one of: {known}")
+
+
+# --------------------------------------------------------------------------
+# The comparator
+
+
+@dataclass(frozen=True)
+class InternedComparator:
+    """Token-set similarity on interned integer ids, with filter + verify.
+
+    Drop-in replacement for :class:`~repro.comparison.comparator.
+    TokenSetComparator` restricted to the named cardinality measures
+    (``jaccard``, ``dice``, ``overlap``, ``cosine``) — exactly the measures
+    whose value depends only on set cardinalities, which is what makes
+    scoring interned ids instead of strings *provably* answer-preserving.
+
+    Parameters
+    ----------
+    measure:
+        Name of the set similarity (see ``SET_SIMILARITIES``).
+    threshold:
+        The classification threshold, when known.  Enables threshold-aware
+        verification: :meth:`compare_batch` emits only pairs whose
+        similarity can still produce a match.  ``None`` (e.g. with an
+        oracle classifier) emits every pair, exactly like the string path.
+    prefilter:
+        Whether the length prefilter may skip intersections (only
+        meaningful with a ``threshold``; the emitted match set is identical
+        either way — the prefilter only saves work, never changes answers).
+
+    Profiles without ``token_ids`` (built without a dictionary, or loaded
+    from an old state dump) transparently fall back to their string token
+    sets; a mixed pair is scored on strings for both sides, so the measure
+    always compares like with like.
+    """
+
+    measure: str = "jaccard"
+    threshold: float | None = None
+    prefilter: bool = True
+
+    def __post_init__(self) -> None:
+        if self.measure not in SET_SIMILARITIES:
+            known = ", ".join(sorted(SET_SIMILARITIES))
+            raise ConfigurationError(
+                f"unknown measure {self.measure!r}; expected one of: {known}"
+            )
+        if self.threshold is not None and not 0.0 <= self.threshold <= 1.0:
+            raise ConfigurationError(
+                f"threshold must be in [0, 1] or None, got {self.threshold}"
+            )
+
+    # -- single-pair API (parity with TokenSetComparator) --------------
+
+    def score(self, left: Profile, right: Profile) -> float:
+        """The full similarity of one pair (never filtered or dropped)."""
+        a = left.token_ids
+        b = right.token_ids
+        if a is None or b is None:
+            return SET_SIMILARITIES[self.measure](left.tokens, right.tokens)
+        return SET_SIMILARITIES[self.measure](a, b)  # type: ignore[arg-type]
+
+    def compare(self, comparison: Comparison) -> ScoredComparison:
+        """Score a comparison tuple, preserving its identity."""
+        sim = self.score(comparison.left, comparison.right)
+        return ScoredComparison(comparison=comparison, similarity=sim)
+
+    def bound(self, la: int, lb: int) -> float:
+        """Upper bound on this measure for (nonzero) set sizes la, lb."""
+        return _BOUNDS[self.measure](la, lb)
+
+    # -- batched kernel ------------------------------------------------
+
+    def compare_batch(self, comparisons: list[Comparison]) -> list[ScoredComparison]:
+        """Score a batch; with a threshold, emit only potential matches.
+
+        Without a ``threshold`` this returns one :class:`ScoredComparison`
+        per input, exactly like the per-pair path.  With one, pairs that
+        provably cannot match are skipped (length prefilter) or dropped
+        after scoring (verification), so the result contains exactly the
+        pairs a :class:`~repro.classification.classifiers.
+        ThresholdClassifier` at that threshold would accept.
+        """
+        out: list[ScoredComparison] = []
+        append = out.append
+        thr = self.threshold
+        measure = self.measure
+        if measure == "jaccard" and thr is not None and thr > 0.0:
+            # Specialized hot loop for the default configuration (Jaccard
+            # under a positive threshold): the ratio reuses the intersection
+            # size for the union and sub-threshold pairs exit before any
+            # allocation.  The streaming front-end compares each incoming
+            # entity against its whole candidate set, so batches share their
+            # left profile; detecting that run with an identity check hoists
+            # the left-side attribute walk out of the loop.
+            #
+            # The prefilter test is the *division* form ``la / lb < thr``
+            # deliberately: it evaluates the exact float expression the
+            # score reaches at maximal overlap (``inter == la`` makes
+            # ``inter / (la + lb - inter)`` collapse to ``la / lb``, the
+            # integer arithmetic being exact), and IEEE rounding is
+            # monotone, so a dropped pair provably cannot score >= thr even
+            # at the last ulp.  A multiply form ``la < thr * lb`` has no
+            # such guarantee.
+            #
+            # Empty sets: a one-sided empty set is prefiltered (0/n < thr)
+            # or scores 0.0 via the zero intersection; two empty sets are
+            # the only way the prefilter ratio divides by zero, which the
+            # (cost-free on 3.11+) except block turns into the 1.0 that
+            # ``similarity.jaccard`` defines for them.
+            emit = ScoredComparison
+            prev_left = None
+            a: object = None
+            a_is_ids = False
+            la = 0
+            if self.prefilter:
+                for c in comparisons:
+                    left = c.left
+                    if left is not prev_left:
+                        prev_left = left
+                        a = left.token_ids
+                        a_is_ids = a is not None
+                        if a is None:
+                            a = left.tokens
+                        la = len(a)  # type: ignore[arg-type]
+                    b = c.right.token_ids
+                    if b is None or not a_is_ids:
+                        a = left.tokens
+                        la = len(a)
+                        b = c.right.tokens
+                        prev_left = None  # re-derive the ids view next pair
+                    lb = len(b)
+                    if la <= lb:
+                        try:
+                            if la / lb < thr:
+                                continue
+                        except ZeroDivisionError:
+                            # la == lb == 0: two empty sets score 1.0 and
+                            # 1.0 >= thr always holds for thr in (0, 1].
+                            append(emit(comparison=c, similarity=1.0))
+                            continue
+                    elif lb / la < thr:  # la > lb, so la >= 1: never raises
+                        continue
+                    inter = len(a & b)  # type: ignore[operator]
+                    denom = la + lb - inter
+                    s = inter / denom if denom else 1.0
+                    if s >= thr:
+                        append(emit(comparison=c, similarity=s))
+            else:
+                for c in comparisons:
+                    left = c.left
+                    if left is not prev_left:
+                        prev_left = left
+                        a = left.token_ids
+                        a_is_ids = a is not None
+                        if a is None:
+                            a = left.tokens
+                        la = len(a)  # type: ignore[arg-type]
+                    b = c.right.token_ids
+                    if b is None or not a_is_ids:
+                        a = left.tokens
+                        la = len(a)
+                        b = c.right.tokens
+                        prev_left = None  # re-derive the ids view next pair
+                    lb = len(b)
+                    inter = len(a & b)  # type: ignore[operator]
+                    denom = la + lb - inter
+                    s = inter / denom if denom else 1.0
+                    if s >= thr:
+                        append(emit(comparison=c, similarity=s))
+            return out
+        sim = SET_SIMILARITIES[measure]
+        pre = self.prefilter and thr is not None and thr > 0.0
+        bound = _BOUNDS[measure]
+        for c in comparisons:
+            left = c.left
+            right = c.right
+            a = left.token_ids
+            b = right.token_ids
+            if a is None or b is None:
+                a = left.tokens  # type: ignore[assignment]
+                b = right.tokens  # type: ignore[assignment]
+            la = len(a)
+            lb = len(b)
+            if not la or not lb:
+                s = 1.0 if la == lb else 0.0
+            else:
+                if pre and bound(la, lb) < thr:  # type: ignore[operator]
+                    continue
+                s = sim(a, b)  # type: ignore[arg-type]
+            if thr is None or s >= thr:
+                append(ScoredComparison(comparison=c, similarity=s))
+        return out

@@ -46,8 +46,18 @@ def cosine(a: Set[str], b: Set[str]) -> float:
     return len(a & b) / denom if denom else 0.0
 
 
-def levenshtein(a: str, b: str) -> int:
-    """Classic dynamic-programming edit distance between two strings."""
+def levenshtein(a: str, b: str, max_distance: int | None = None) -> int:
+    """Classic dynamic-programming edit distance between two strings.
+
+    When ``max_distance`` is given, the computation stops as soon as the
+    distance provably exceeds it and a *lower bound* on the true distance
+    (still > ``max_distance``) is returned instead of the exact value.  Two
+    early exits apply: the length difference alone is a lower bound on the
+    edit distance (``abs(len(a) - len(b))`` deletions/insertions are
+    unavoidable), and DP row minima never decrease, so once a whole row
+    exceeds the budget the final distance must too.  Callers that only ask
+    "is the distance ≤ max_distance?" get an exact verdict either way.
+    """
     if a == b:
         return 0
     if not a:
@@ -56,6 +66,8 @@ def levenshtein(a: str, b: str) -> int:
         return len(a)
     if len(a) < len(b):
         a, b = b, a
+    if max_distance is not None and len(a) - len(b) > max_distance:
+        return len(a) - len(b)
     previous = list(range(len(b) + 1))
     for i, ca in enumerate(a, start=1):
         current = [i]
@@ -65,15 +77,32 @@ def levenshtein(a: str, b: str) -> int:
             substitute = previous[j - 1] + (ca != cb)
             current.append(min(insert, delete, substitute))
         previous = current
+        if max_distance is not None:
+            row_min = min(previous)
+            if row_min > max_distance:
+                return row_min
     return previous[-1]
 
 
-def levenshtein_similarity(a: str, b: str) -> float:
-    """Edit distance normalized into [0, 1] (1.0 means identical)."""
+def levenshtein_similarity(a: str, b: str, min_similarity: float | None = None) -> float:
+    """Edit distance normalized into [0, 1] (1.0 means identical).
+
+    ``min_similarity`` turns on the bounded mode: when the similarity is
+    provably below it, an *upper bound* on the true similarity (still <
+    ``min_similarity``) is returned without finishing the DP — threshold
+    callers get an exact accept/reject verdict at a fraction of the work
+    for very differently sized strings.  The result is exact whenever it is
+    ≥ ``min_similarity``.
+    """
     if not a and not b:
         return 1.0
     longest = max(len(a), len(b))
-    return 1.0 - levenshtein(a, b) / longest
+    if min_similarity is None:
+        return 1.0 - levenshtein(a, b) / longest
+    # distance d maps to similarity 1 - d/longest >= min_similarity
+    # exactly when d <= (1 - min_similarity) * longest.
+    budget = int((1.0 - min_similarity) * longest + 1e-9)
+    return 1.0 - levenshtein(a, b, max_distance=budget) / longest
 
 
 def jaro(a: str, b: str) -> float:

@@ -2,9 +2,10 @@
 
 A :class:`StateBackend` groups one instance of every state component the
 eight stages need — the block index and its blacklist (``f_bb+bp``), the
-profile map (``f_lm``), the co-occurrence counter (``f_cc``), and the match
-store (``f_cl``) — behind a single object that a
-:class:`~repro.core.plan.PipelinePlan` hands to each stage factory.
+profile map (``f_lm``), the co-occurrence counter (``f_cc``), the match
+store (``f_cl``), and the token dictionary (``f_dr``'s interning table) —
+behind a single object that a :class:`~repro.core.plan.PipelinePlan` hands
+to each stage factory.
 
 Stages only rely on the *interfaces* of the components (duck typing, see
 the store classes in :mod:`repro.core.state`), so backends can swap the
@@ -73,6 +74,12 @@ class StateBackend(Protocol):
     ``matches``
         :class:`~repro.core.state.MatchStore`-shaped — ``add``,
         ``matches``, ``pairs``.
+    ``dictionary``
+        :class:`~repro.reading.interning.TokenDictionary`-shaped — the
+        shared token-interning table ``f_dr`` fills and the comparison
+        kernel reads.  Append-only and internally locked, so sharded
+        backends share a single instance across all shards (ids must be
+        globally consistent to compare entities from different shards).
     """
 
     blocks: object
@@ -80,6 +87,7 @@ class StateBackend(Protocol):
     profiles: object
     cooccurrence: object
     matches: object
+    dictionary: object
 
     def state(self) -> "ERState":
         """An :class:`~repro.core.state.ERState` view over the components."""

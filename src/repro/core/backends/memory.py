@@ -15,6 +15,7 @@ from repro.core.state import (
     MatchStore,
     ProfileStore,
 )
+from repro.reading.interning import TokenDictionary
 
 
 class InMemoryBackend:
@@ -32,6 +33,7 @@ class InMemoryBackend:
         profiles: ProfileStore | None = None,
         matches: MatchStore | None = None,
         cooccurrence: CooccurrenceCounter | None = None,
+        dictionary: TokenDictionary | None = None,
     ) -> None:
         self.blocks = blocks if blocks is not None else BlockCollection()
         self.blacklist = blacklist if blacklist is not None else Blacklist()
@@ -40,6 +42,7 @@ class InMemoryBackend:
         self.cooccurrence = (
             cooccurrence if cooccurrence is not None else CooccurrenceCounter()
         )
+        self.dictionary = dictionary if dictionary is not None else TokenDictionary()
 
     def state(self) -> ERState:
         return ERState(

@@ -35,6 +35,7 @@ from repro.core.state import (
     ProfileStore,
 )
 from repro.errors import ConfigurationError
+from repro.reading.interning import TokenDictionary
 from repro.types import EntityId, Match, Profile, pair_key
 
 
@@ -248,7 +249,14 @@ class ShardedCooccurrenceCounter:
 
 
 class ShardedBackend:
-    """All five state components hash-partitioned into ``shards`` shards."""
+    """All partitionable state components hash-split into ``shards`` shards.
+
+    The token dictionary is deliberately *not* sharded: interned ids must
+    be globally consistent (a pair of entities living in different profile
+    shards still compares id-to-id), and :class:`~repro.reading.interning.
+    TokenDictionary` is append-only with an internal lock, so one shared
+    instance is both correct and cheap.
+    """
 
     def __init__(self, shards: int = 4) -> None:
         if shards < 1:
@@ -259,6 +267,7 @@ class ShardedBackend:
         self.profiles = ShardedProfileStore(shards)
         self.matches = ShardedMatchStore(shards)
         self.cooccurrence = ShardedCooccurrenceCounter(shards)
+        self.dictionary = TokenDictionary()
 
     def state(self) -> ERState:
         return ERState(

@@ -7,6 +7,7 @@ from dataclasses import dataclass, field
 
 from repro.classification.classifiers import Classifier, ThresholdClassifier
 from repro.comparison.comparator import TokenSetComparator
+from repro.comparison.kernel import InternedComparator
 from repro.errors import ConfigurationError
 from repro.reading.profiles import ProfileBuilder
 
@@ -99,6 +100,37 @@ class StreamERConfig:
             raise ConfigurationError(f"alpha must be > 1, got {self.alpha}")
         if not 0.0 < self.beta < 1.0:
             raise ConfigurationError(f"beta must be in (0, 1), got {self.beta}")
+
+    @classmethod
+    def interned(
+        cls,
+        measure: str = "jaccard",
+        prefilter: bool = True,
+        **kwargs: object,
+    ) -> "StreamERConfig":
+        """A config using the integer-interned comparison kernel.
+
+        Swaps the comparator for an :class:`~repro.comparison.kernel.
+        InternedComparator` on the named ``measure``.  When the classifier
+        is a :class:`~repro.classification.classifiers.ThresholdClassifier`
+        (the default), its threshold is handed to the kernel so the length
+        prefilter and threshold-aware verification can engage; any other
+        classifier (e.g. the oracle) leaves the kernel in emit-everything
+        mode, which is still faster than the string path but filters
+        nothing.  All other keyword arguments are regular
+        :class:`StreamERConfig` parameters.  The token dictionary itself is
+        run state: it lives on the :class:`~repro.core.backends.
+        StateBackend` and is bound in when a plan is compiled.
+        """
+        classifier = kwargs.setdefault("classifier", ThresholdClassifier())
+        threshold = (
+            classifier.threshold if isinstance(classifier, ThresholdClassifier) else None
+        )
+        kwargs.setdefault(
+            "comparator",
+            InternedComparator(measure=measure, threshold=threshold, prefilter=prefilter),
+        )
+        return cls(**kwargs)  # type: ignore[arg-type]
 
     @staticmethod
     def alpha_for(dataset_size: int, fraction: float = 0.05) -> int:

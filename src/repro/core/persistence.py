@@ -13,6 +13,7 @@ ints, strings, and (source, local_id) tuples from clean-clean ER.
 
 from __future__ import annotations
 
+import dataclasses
 import json
 from pathlib import Path
 from typing import IO
@@ -108,8 +109,17 @@ def load_state(pipeline: StreamERPipeline, source: str | Path | IO[str]) -> None
             pipeline.bb.blocks.add(key, _decode_id(encoded))
     for key in document["blacklist"]:
         pipeline.bb.blacklist.add(key)
+    # Token ids are dictionary-relative, so the dump stores only the token
+    # strings; an interning pipeline re-interns on load, which rebuilds a
+    # consistent id space in the resuming run's own dictionary.
+    dictionary = pipeline.dr.builder.dictionary
     for encoded in document["profiles"]:
-        pipeline.lm.profiles.put(_decode_profile(encoded))
+        profile = _decode_profile(encoded)
+        if dictionary is not None:
+            profile = dataclasses.replace(
+                profile, token_ids=dictionary.intern_set(profile.tokens)
+            )
+        pipeline.lm.profiles.put(profile)
     for encoded in document["matches"]:
         pipeline.cl.matches.add(
             Match(

@@ -38,6 +38,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable
 
+from repro.comparison.kernel import InternedComparator
 from repro.core.backends import InMemoryBackend, StateBackend
 from repro.core.config import StreamERConfig
 from repro.core.stages import (
@@ -76,7 +77,16 @@ class StageSpec:
 
 
 def _make_dr(config: StreamERConfig, backend: StateBackend):
-    return DataReadingStage(config.profile_builder)
+    builder = config.profile_builder
+    # An interned comparator needs profiles carrying token ids; bind the
+    # backend's shared dictionary into the builder at compile time (the
+    # dictionary is run state, like every store, so two executors compiling
+    # the same config never share id spaces by accident).
+    if builder.dictionary is None and isinstance(config.comparator, InternedComparator):
+        dictionary = getattr(backend, "dictionary", None)
+        if dictionary is not None:
+            builder = builder.with_dictionary(dictionary)
+    return DataReadingStage(builder)
 
 
 def _make_bb(config: StreamERConfig, backend: StateBackend):

@@ -107,15 +107,21 @@ class ScoredComparisons:
 
 
 class DataReadingStage:
-    """``f_dr``: standardize the description and extract blocking keys."""
+    """``f_dr``: standardize the description and extract blocking keys.
+
+    When the builder carries a :class:`~repro.reading.interning.
+    TokenDictionary`, tokens are interned here — at the single point every
+    entity flows through — so every downstream consumer sees profiles with
+    the integer token view already attached.
+    """
 
     name = "dr"
 
     def __init__(self, builder: ProfileBuilder | None = None) -> None:
-        self._builder = builder or ProfileBuilder()
+        self.builder = builder or ProfileBuilder()
 
     def __call__(self, entity: EntityDescription) -> Profile:
-        return self._builder.build(entity)
+        return self.builder.build(entity)
 
 
 class BlockBuildingStage:
@@ -318,17 +324,29 @@ class LoadManagementStage:
 
 
 class ComparisonStage:
-    """``f_co``: score every surviving comparison with the similarity."""
+    """``f_co``: score every surviving comparison with the similarity.
+
+    Comparators exposing ``compare_batch`` (the interned kernel) score the
+    whole per-entity batch in one call; threshold-aware comparators may
+    emit *fewer* scored comparisons than they were given — exactly the
+    pairs that can still classify as matches — so ``compared`` counts the
+    pairs examined, not the pairs emitted.
+    """
 
     name = "co"
 
     def __init__(self, comparator: TokenSetComparator | None = None) -> None:
         self.comparator = comparator or TokenSetComparator()
         self.compared = 0
+        self._batch = getattr(self.comparator, "compare_batch", None)
 
     def __call__(self, materialized: MaterializedComparisons) -> ScoredComparisons:
-        scored = [self.comparator.compare(c) for c in materialized.comparisons]
-        self.compared += len(scored)
+        comparisons = materialized.comparisons
+        if self._batch is not None:
+            scored = self._batch(comparisons)
+        else:
+            scored = [self.comparator.compare(c) for c in comparisons]
+        self.compared += len(comparisons)
         return ScoredComparisons(profile=materialized.profile, scored=scored)
 
 

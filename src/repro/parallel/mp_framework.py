@@ -14,8 +14,30 @@ This mirrors how the paper's allocation concentrates workers on ``f_co``
 it is legal: scoring is pure and stateless, so comparisons can be
 partitioned freely.
 
+Dispatch is *compact*: instead of pickling two full :class:`~repro.types.
+Profile` objects per pair (attributes, token strings, and all — kilobytes
+each, resent for every partner an entity is compared against), the parent
+ships each chunk as a small table ``{entity id → token payload}`` plus a
+list of ``(id, id)`` pairs, so every entity's tokens cross the process
+boundary at most once per chunk.  The payload format depends on the
+configured comparator:
+
+``"ids"`` (:class:`~repro.comparison.kernel.InternedComparator`)
+    sorted machine-int arrays of interned token ids (see
+    :func:`~repro.reading.interning.pack_ids`) — a few bytes per token.
+    The parent additionally applies the kernel's length prefilter before
+    dispatch (a provably non-matching pair is never sent at all) and the
+    worker applies threshold-aware verification (a scored non-match
+    returns a 2-byte marker, not a result object).
+``"tokens"`` (:class:`~repro.comparison.comparator.TokenSetComparator`)
+    the string token frozensets, deduplicated per chunk.
+``"profiles"`` (anything else)
+    the legacy full-profile pairs, for comparators that inspect
+    attributes (e.g. the attribute-weighted or TF-IDF comparators).
+
 Results are identical to the sequential pipeline (the same comparisons are
 scored; only scoring order varies, and the match store de-duplicates).
+The differential suite asserts this pairwise across all three formats.
 
 Robustness mirrors the thread framework: the per-entity front is executed
 under a :class:`~repro.parallel.supervision.Supervisor` (a poison entity is
@@ -23,17 +45,24 @@ dead-lettered, the stream keeps flowing); worker processes guard every
 pair individually and report failures back as data, so a raising comparator
 cannot poison ``pool.imap``; failed pairs are retried in the parent per the
 :class:`~repro.core.config.SupervisionPolicy` before being dead-lettered on
-the returned :class:`~repro.core.pipeline.ERResult`.
+the returned :class:`~repro.core.pipeline.ERResult`.  Fault-injection
+decisions are keyed by the canonical pair key in every dispatch format, so
+the same seeded faults hit the same pairs regardless of how payloads are
+encoded.
 """
 
 from __future__ import annotations
 
 import multiprocessing as mp
 import time
-from dataclasses import dataclass, field
-from typing import Iterable, Iterator
+from typing import Callable, Iterable, Iterator
 
 from repro.comparison.comparator import TokenSetComparator
+from repro.comparison.kernel import (
+    InternedComparator,
+    intersect_size,
+    similarity_from_intersection,
+)
 from repro.core.backends import StateBackend
 from repro.core.config import StreamERConfig, SupervisionPolicy
 from repro.core.pipeline import ERResult
@@ -42,66 +71,130 @@ from repro.core.stages import ScoredComparisons
 from repro.errors import ConfigurationError
 from repro.parallel.faults import FaultInjector, FaultPlan, FaultSpec
 from repro.parallel.supervision import Supervisor
+from repro.reading.interning import pack_ids
 from repro.types import (
     Comparison,
     EntityDescription,
+    EntityId,
     Match,
     Profile,
     ScoredComparison,
     pair_key,
 )
 
+#: One chunk's compact payload: id-array table, string-set fallback table
+#: (used when either side of a pair lacks interned ids), and the pair list.
+CompactChunk = tuple[dict, dict, list[tuple[EntityId, EntityId]]]
+
+
+def dispatch_mode(comparator: object) -> str:
+    """Which wire format the comparator admits (see the module docstring).
+
+    Exact-type checks, deliberately: a subclass may override ``score`` to
+    look at attributes the compact payloads do not carry, so only the known
+    token-set comparators ride the compact formats.
+    """
+    if type(comparator) is InternedComparator:
+        return "ids"
+    if type(comparator) is TokenSetComparator:
+        return "tokens"
+    return "profiles"
+
+
 # Worker-process state, installed once per worker by the pool initializer.
-_worker_comparator: TokenSetComparator | None = None
-_worker_injector: FaultInjector | None = None
+_worker_comparator = None
+_worker_mode: str = "profiles"
+_worker_threshold: float | None = None
+_worker_scorer: Callable | None = None
+
+
+def _score_profile_pair(pair: tuple[Profile, Profile]) -> float:
+    return _worker_comparator.score(pair[0], pair[1])  # type: ignore[union-attr]
+
+
+def _score_token_pair(item: tuple) -> float:
+    # item = (eid_i, eid_j, tokens_i, tokens_j); the ids ride along only so
+    # the fault injector can key its decision by the canonical pair.
+    return _worker_comparator.similarity(item[2], item[3])  # type: ignore[union-attr]
+
+
+def _score_id_pair(item: tuple) -> float:
+    a, b = item[2], item[3]
+    if isinstance(a, frozenset):  # string fallback for un-interned profiles
+        inter = len(a & b)
+    else:
+        inter = intersect_size(a, b)
+    return similarity_from_intersection(
+        _worker_comparator.measure, inter, len(a), len(b)  # type: ignore[union-attr]
+    )
 
 
 def _init_worker(
-    comparator: TokenSetComparator, fault_spec: FaultSpec | None = None
+    comparator: object,
+    fault_spec: FaultSpec | None = None,
+    mode: str = "profiles",
 ) -> None:
-    global _worker_comparator, _worker_injector
+    global _worker_comparator, _worker_mode, _worker_threshold, _worker_scorer
     _worker_comparator = comparator
+    _worker_mode = mode
+    _worker_threshold = comparator.threshold if mode == "ids" else None  # type: ignore[attr-defined]
+    if mode == "ids":
+        base: Callable = _score_id_pair
+    elif mode == "tokens":
+        base = _score_token_pair
+    else:
+        base = _score_profile_pair
     if fault_spec is None:
-        _worker_injector = None
+        _worker_scorer = base
     else:
         # Built inside the worker, so the wrapped lambdas never cross the
-        # process boundary; decisions are key-hashed, hence identical in
-        # every worker regardless of how chunks are distributed.
-        _worker_injector = FaultInjector(
-            lambda pair: _worker_comparator.score(pair[0], pair[1]),  # type: ignore[union-attr]
-            fault_spec,
-            stage="co",
-            key_fn=lambda pair: pair_key(pair[0].eid, pair[1].eid),
-        )
+        # process boundary; decisions are keyed by the canonical pair key
+        # and hashed, hence identical in every worker and every dispatch
+        # format, regardless of how chunks are distributed.
+        if mode == "profiles":
+            key_fn = lambda pair: pair_key(pair[0].eid, pair[1].eid)  # noqa: E731
+        else:
+            key_fn = lambda item: pair_key(item[0], item[1])  # noqa: E731
+        _worker_scorer = FaultInjector(base, fault_spec, stage="co", key_fn=key_fn)
 
 
-def _score_chunk(
-    chunk: list[tuple[Profile, Profile]],
-) -> list[tuple[float | None, str | None]]:
-    """Score one micro-batch of profile pairs in a worker process.
+def _score_chunk(payload: object) -> list[tuple[float | None, str | None]]:
+    """Score one micro-batch in a worker process.
 
     Each pair is guarded individually and failures travel back as
     ``(None, error_repr)`` — data, not exceptions — so one poison pair
-    cannot tear down ``pool.imap`` and lose the whole run.
+    cannot tear down ``pool.imap`` and lose the whole run.  ``(None, None)``
+    marks a pair the kernel *verified* below the classification threshold:
+    provably not a match, dropped without ever allocating a result object.
     """
-    assert _worker_comparator is not None, "worker not initialized"
+    scorer = _worker_scorer
+    assert scorer is not None, "worker not initialized"
     out: list[tuple[float | None, str | None]] = []
-    for left, right in chunk:
+    if _worker_mode == "profiles":
+        for left, right in payload:  # type: ignore[union-attr]
+            try:
+                out.append((scorer((left, right)), None))
+            except Exception as exc:
+                out.append((None, repr(exc)))
+        return out
+    ids_table, str_table, pairs = payload  # type: ignore[misc]
+    thr = _worker_threshold
+    for i, j in pairs:
+        a = ids_table.get(i)
+        b = ids_table.get(j) if a is not None else None
+        if a is None or b is None:
+            a = str_table[i]
+            b = str_table[j]
         try:
-            if _worker_injector is not None:
-                out.append((_worker_injector((left, right)), None))
-            else:
-                out.append((_worker_comparator.score(left, right), None))
+            score = scorer((i, j, a, b))
         except Exception as exc:
             out.append((None, repr(exc)))
+            continue
+        if thr is not None and score < thr:
+            out.append((None, None))
+        else:
+            out.append((score, None))
     return out
-
-
-@dataclass
-class _Chunk:
-    """A micro-batch of comparisons awaiting scores."""
-
-    pairs: list[tuple[Profile, Profile]] = field(default_factory=list)
 
 
 class MultiprocessERPipeline:
@@ -134,6 +227,10 @@ class MultiprocessERPipeline:
     plan:
         A pre-built :class:`~repro.core.plan.PipelinePlan` to compile; by
         default one is derived from ``config``.
+
+    After a run, ``pairs_prefiltered`` counts the comparisons the parent
+    dropped by the length prefilter (never dispatched) and
+    ``pairs_dispatched`` the comparisons actually shipped to the pool.
     """
 
     def __init__(
@@ -172,6 +269,19 @@ class MultiprocessERPipeline:
             for name, fn in self.compiled.stage_functions().items()
             if name != "co"
         }
+        comparator = self.config.comparator
+        self.dispatch_mode = dispatch_mode(comparator)
+        self._threshold: float | None = (
+            comparator.threshold if self.dispatch_mode == "ids" else None
+        )
+        self._prefilter = bool(
+            self.dispatch_mode == "ids"
+            and comparator.prefilter
+            and self._threshold is not None
+            and self._threshold > 0.0
+        )
+        self.pairs_prefiltered = 0
+        self.pairs_dispatched = 0
         faults = dict(faults) if faults else {}
         self._worker_fault_spec = faults.pop("co", None)
         unknown = [name for name in faults if name not in self._fns]
@@ -209,15 +319,71 @@ class MultiprocessERPipeline:
     def _chunks(
         self, entities: Iterable[EntityDescription]
     ) -> Iterator[list[Comparison]]:
-        """Regroup per-entity comparisons into pool-sized chunks."""
+        """Regroup per-entity comparisons into pool-sized chunks.
+
+        In ``"ids"`` mode with an active prefilter, pairs whose length
+        bound already precludes reaching the threshold are dropped *here* —
+        before chunking — so they consume neither a chunk slot nor a single
+        byte of IPC.  Draining is linear: full chunks are sliced off by a
+        moving index and only the sub-chunk remainder is ever copied, so
+        chunking cost no longer grows quadratically with the per-entity
+        comparison burst.
+        """
+        chunk_size = self.chunk_size
         buffer: list[Comparison] = []
+        thr = self._threshold
+        prefilter = self._prefilter
+        bound = self.config.comparator.bound if prefilter else None
         for comparisons in self._front(entities):
-            buffer.extend(comparisons)
-            while len(buffer) >= self.chunk_size:
-                yield buffer[: self.chunk_size]
-                buffer = buffer[self.chunk_size :]
+            if prefilter:
+                for c in comparisons:
+                    la = len(c.left.tokens)
+                    lb = len(c.right.tokens)
+                    if la and lb and bound(la, lb) < thr:  # type: ignore[misc]
+                        self.pairs_prefiltered += 1
+                        continue
+                    buffer.append(c)
+            else:
+                buffer.extend(comparisons)
+            if len(buffer) >= chunk_size:
+                start = 0
+                while len(buffer) - start >= chunk_size:
+                    yield buffer[start : start + chunk_size]
+                    start += chunk_size
+                buffer = buffer[start:]
         if buffer:
             yield buffer
+
+    def _encode_chunk(self, chunk: list[Comparison]) -> object:
+        """The chunk's wire payload in this run's dispatch format.
+
+        Compact formats ship each entity's token payload once per chunk,
+        keyed by entity id; pairs are id tuples.  A pair whose either side
+        lacks interned ids falls back to string sets *for both sides*, so
+        the worker always compares like with like.
+        """
+        mode = self.dispatch_mode
+        self.pairs_dispatched += len(chunk)
+        if mode == "profiles":
+            return [(c.left, c.right) for c in chunk]
+        ids_table: dict = {}
+        str_table: dict = {}
+        pairs: list[tuple[EntityId, EntityId]] = []
+        for c in chunk:
+            left, right = c.left, c.right
+            li, ri = left.eid, right.eid
+            if mode == "ids" and left.token_ids is not None and right.token_ids is not None:
+                if li not in ids_table:
+                    ids_table[li] = pack_ids(left.token_ids)
+                if ri not in ids_table:
+                    ids_table[ri] = pack_ids(right.token_ids)
+            else:
+                if li not in str_table:
+                    str_table[li] = left.tokens
+                if ri not in str_table:
+                    str_table[ri] = right.tokens
+            pairs.append((li, ri))
+        return (ids_table, str_table, pairs)
 
     def run(self, entities: Iterable[EntityDescription]) -> ERResult:
         """Process a finite input end to end; returns the usual summary."""
@@ -234,16 +400,17 @@ class MultiprocessERPipeline:
         with ctx.Pool(
             processes=self.workers,
             initializer=_init_worker,
-            initargs=(self.config.comparator, self._worker_fault_spec),
+            initargs=(self.config.comparator, self._worker_fault_spec, self.dispatch_mode),
         ) as pool:
             chunk_stream = self._chunks(counted(entities))
             pair_chunks: list[list[Comparison]] = []
 
-            def payloads() -> Iterator[list[tuple[Profile, Profile]]]:
+            def payloads() -> Iterator[object]:
                 for chunk in chunk_stream:
                     pair_chunks.append(chunk)
-                    yield [(c.left, c.right) for c in chunk]
+                    yield self._encode_chunk(chunk)
 
+            threshold = self._threshold
             for index, scores in enumerate(pool.imap(_score_chunk, payloads())):
                 chunk = pair_chunks[index]
                 pair_chunks[index] = []  # release memory as results drain
@@ -253,6 +420,10 @@ class MultiprocessERPipeline:
                         score = self._rescore(comparison, error)
                         if score is None:
                             continue  # pair dead-lettered
+                        if threshold is not None and score < threshold:
+                            continue  # rescored, verified below threshold
+                    elif score is None:
+                        continue  # worker-verified non-match
                     scored.append(
                         ScoredComparison(comparison=comparison, similarity=score)
                     )

@@ -1,5 +1,6 @@
 """Data-reading substrate: standardization, tokenization, and sources."""
 
+from repro.reading.interning import TokenDictionary, pack_ids
 from repro.reading.profiles import ProfileBuilder
 from repro.reading.sources import from_records, read_csv, read_jsonl
 from repro.reading.stats import DatasetProfile, profile_dataset
@@ -13,6 +14,8 @@ from repro.reading.tokenize import DEFAULT_STOPWORDS, Tokenizer
 
 __all__ = [
     "ProfileBuilder",
+    "TokenDictionary",
+    "pack_ids",
     "DatasetProfile",
     "profile_dataset",
     "Standardizer",

@@ -60,17 +60,30 @@ class Profile:
 
     Produced by the data-reading stage: attribute values have been
     standardized and the set of blocking keys ``K_i`` (tokens) extracted.
+
+    ``token_ids`` is the interned view of ``tokens``: when the profile was
+    built against a :class:`~repro.reading.interning.TokenDictionary`, it
+    holds the dense integer ids of exactly the tokens in ``tokens``, and the
+    comparison kernel scores pairs on these compact int sets instead of the
+    string sets.  ``None`` means the profile was built without interning
+    (the string path); scoring falls back to ``tokens``.
     """
 
     eid: EntityId
     attributes: AttributePairs
     tokens: frozenset[str]
     source: str | None = None
+    token_ids: frozenset[int] | None = None
 
     @property
     def keys(self) -> frozenset[str]:
         """The blocking keys ``K_i`` of this profile (alias for ``tokens``)."""
         return self.tokens
+
+    @property
+    def interned(self) -> bool:
+        """Whether this profile carries the interned integer token view."""
+        return self.token_ids is not None
 
 
 def pair_key(i: EntityId, j: EntityId) -> tuple[EntityId, EntityId]:

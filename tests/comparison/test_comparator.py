@@ -48,3 +48,34 @@ class TestAttributeWeightedComparator:
         a, b = profile(1, [("t", "x")]), profile(2, [("t", "x")])
         scored = AttributeWeightedComparator().compare(Comparison(a, b))
         assert scored.similarity == 1.0
+
+
+class TestAttributeIndexCache:
+    def test_cache_hit_reuses_the_index(self):
+        comparator = AttributeWeightedComparator()
+        p = profile(1, [("title", "x y"), ("year", "1999")])
+        first = comparator._attribute_index(p)
+        assert comparator._attribute_index(p) is first
+
+    def test_cache_is_identity_keyed(self):
+        comparator = AttributeWeightedComparator()
+        p1 = profile(1, [("t", "x")])
+        p2 = profile(1, [("t", "x")])  # equal, but a distinct object
+        assert comparator._attribute_index(p1) is not comparator._attribute_index(p2)
+
+    def test_cache_clears_when_full_and_keeps_scoring(self):
+        comparator = AttributeWeightedComparator(cache_size=2)
+        profiles = [profile(i, [("t", f"x{i}")]) for i in range(5)]
+        for p in profiles:
+            comparator._attribute_index(p)
+        assert len(comparator._index_cache) <= 2
+        a = profile(10, [("title", "x y"), ("year", "1999")])
+        b = profile(11, [("title", "x y"), ("year", "2000")])
+        assert comparator.score(a, b) == pytest.approx(0.5)
+
+    def test_cached_and_fresh_comparators_agree(self):
+        a = profile(1, [("title", "glass panel"), ("year", "1999")])
+        b = profile(2, [("title", "glass fibre panel"), ("year", "1999")])
+        warm = AttributeWeightedComparator()
+        warm.score(a, b)  # populate the cache
+        assert warm.score(a, b) == AttributeWeightedComparator().score(a, b)

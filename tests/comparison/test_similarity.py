@@ -140,3 +140,63 @@ class TestJaroWinkler:
     @given(st.text(max_size=10), st.text(max_size=10))
     def test_in_unit_interval(self, a, b):
         assert 0.0 <= jaro_winkler(a, b) <= 1.0
+
+
+class TestLevenshteinBoundedMode:
+    """The early-exit contract: bounds may be loose, verdicts never are."""
+
+    def test_length_gap_shortcut_returns_lower_bound(self):
+        # len gap 5 > budget 2: the gap itself comes back, still > budget.
+        assert levenshtein("abcdefgh", "abc", max_distance=2) == 5
+
+    def test_row_minimum_exit_exceeds_budget(self):
+        result = levenshtein("abcdef", "uvwxyz", max_distance=1)
+        assert result > 1
+
+    def test_exact_when_within_budget(self):
+        assert levenshtein("kitten", "sitting", max_distance=3) == 3
+        assert levenshtein("kitten", "sitting", max_distance=10) == 3
+
+    @given(
+        st.text(alphabet="abcd", max_size=10),
+        st.text(alphabet="abcd", max_size=10),
+        st.integers(min_value=0, max_value=10),
+    )
+    def test_verdict_is_exact_either_way(self, a, b, budget):
+        exact = levenshtein(a, b)
+        bounded = levenshtein(a, b, max_distance=budget)
+        assert (bounded <= budget) == (exact <= budget)
+        if bounded <= budget:
+            assert bounded == exact
+        else:
+            assert bounded <= exact  # a lower bound, never an overestimate
+
+    @given(
+        st.text(alphabet="abcd", max_size=10),
+        st.text(alphabet="abcd", max_size=10),
+        st.sampled_from([0.0, 0.25, 0.5, 0.75, 1.0]),
+    )
+    def test_similarity_verdict_matches_unbounded(self, a, b, cutoff):
+        exact = levenshtein_similarity(a, b)
+        bounded = levenshtein_similarity(a, b, min_similarity=cutoff)
+        assert (bounded >= cutoff) == (exact >= cutoff)
+        if bounded >= cutoff:
+            assert bounded == exact
+
+
+class TestSetMeasureEdgeCases:
+    def test_one_empty_side_scores_zero(self):
+        for fn in SET_SIMILARITIES.values():
+            assert fn(set(), {"a"}) == 0.0
+            assert fn({"a"}, set()) == 0.0
+
+    def test_both_empty_score_one(self):
+        for fn in SET_SIMILARITIES.values():
+            assert fn(set(), set()) == 1.0
+
+    def test_disjoint_sets_score_zero(self):
+        for fn in SET_SIMILARITIES.values():
+            assert fn({"a", "b"}, {"c", "d"}) == 0.0
+
+    def test_subset_overlap_is_one(self):
+        assert overlap({"a"}, {"a", "b", "c"}) == 1.0

@@ -88,3 +88,141 @@ class TestCorrectness:
         result = mp_pipeline.run(entities)
         assert result.matches == []
         assert result.entities_processed == 5
+
+
+class TestCompactDispatch:
+    """The zero-copy wire formats introduced by the interned kernel."""
+
+    def test_dispatch_mode_by_comparator_type(self):
+        from repro.comparison import (
+            AttributeWeightedComparator,
+            InternedComparator,
+            TokenSetComparator,
+        )
+        from repro.parallel.mp_framework import dispatch_mode
+
+        assert dispatch_mode(InternedComparator()) == "ids"
+        assert dispatch_mode(TokenSetComparator()) == "tokens"
+        assert dispatch_mode(AttributeWeightedComparator()) == "profiles"
+
+        class Custom(TokenSetComparator):
+            pass
+
+        # A subclass may inspect attributes; it must ride the legacy format.
+        assert dispatch_mode(Custom()) == "profiles"
+
+    def test_interned_config_selects_id_dispatch(self, tiny_dirty_dataset):
+        ds = tiny_dirty_dataset
+        config = StreamERConfig.interned(
+            alpha=StreamERConfig.alpha_for(len(ds), 0.05),
+            beta=0.05,
+            clean_clean=ds.clean_clean,
+            classifier=ThresholdClassifier(0.5),
+        )
+        mp_pipeline = MultiprocessERPipeline(config, workers=2, chunk_size=64)
+        assert mp_pipeline.dispatch_mode == "ids"
+        result = mp_pipeline.run(ds.stream())
+
+        sequential = StreamERPipeline(config_for(ds, threshold=0.5), instrument=False)
+        sequential.process_many(ds.stream())
+        assert result.match_pairs == sequential.cl.matches.pairs()
+
+    def test_prefilter_accounting_covers_every_pair(self, tiny_dirty_dataset):
+        ds = tiny_dirty_dataset
+        config = StreamERConfig.interned(
+            alpha=StreamERConfig.alpha_for(len(ds), 0.05),
+            beta=0.05,
+            clean_clean=ds.clean_clean,
+            classifier=ThresholdClassifier(0.5),
+        )
+        mp_pipeline = MultiprocessERPipeline(config, workers=1, chunk_size=32)
+        result = mp_pipeline.run(ds.stream())
+        dispatched = mp_pipeline.pairs_dispatched
+        prefiltered = mp_pipeline.pairs_prefiltered
+        assert dispatched + prefiltered == result.comparisons_after_cleaning
+        assert dispatched > 0
+
+    def test_encode_chunk_ships_each_entity_once(self):
+        from array import array
+
+        from repro.comparison import InternedComparator
+        from repro.reading import TokenDictionary
+        from repro.types import Comparison, Profile
+
+        d = TokenDictionary()
+
+        def interned(eid, tokens):
+            tokens = frozenset(tokens)
+            return Profile(
+                eid=eid,
+                attributes=(("t", " ".join(sorted(tokens))),),
+                tokens=tokens,
+                token_ids=d.intern_set(tokens),
+            )
+
+        config = StreamERConfig(
+            comparator=InternedComparator(threshold=0.5),
+            classifier=ThresholdClassifier(0.5),
+        )
+        pipeline = MultiprocessERPipeline(config, workers=1)
+        hub = interned(1, {"a", "b"})
+        chunk = [
+            Comparison(hub, interned(2, {"a", "c"})),
+            Comparison(hub, interned(3, {"b", "c"})),
+        ]
+        ids_table, str_table, pairs = pipeline._encode_chunk(chunk)
+        assert pairs == [(1, 2), (1, 3)]
+        assert set(ids_table) == {1, 2, 3}  # the hub appears once, not twice
+        assert all(isinstance(payload, array) for payload in ids_table.values())
+        assert str_table == {}
+        assert pipeline.pairs_dispatched == 2
+
+    def test_encode_chunk_mixed_pair_falls_back_to_strings(self):
+        from repro.comparison import InternedComparator
+        from repro.reading import TokenDictionary
+        from repro.types import Comparison, Profile
+
+        d = TokenDictionary()
+        with_ids = Profile(
+            eid=1,
+            attributes=(("t", "a b"),),
+            tokens=frozenset({"a", "b"}),
+            token_ids=d.intern_set({"a", "b"}),
+        )
+        without_ids = Profile(
+            eid=2, attributes=(("t", "a c"),), tokens=frozenset({"a", "c"})
+        )
+        config = StreamERConfig(
+            comparator=InternedComparator(threshold=0.5),
+            classifier=ThresholdClassifier(0.5),
+        )
+        pipeline = MultiprocessERPipeline(config, workers=1)
+        ids_table, str_table, pairs = pipeline._encode_chunk(
+            [Comparison(with_ids, without_ids)]
+        )
+        # Both sides travel as strings so the worker compares like with like.
+        assert set(str_table) == {1, 2}
+        assert ids_table == {}
+        assert pairs == [(1, 2)]
+
+    def test_oracle_classifier_disables_verification(self, tiny_dirty_dataset):
+        ds = tiny_dirty_dataset
+        from repro.classification import OracleClassifier
+
+        config = StreamERConfig.interned(
+            alpha=StreamERConfig.alpha_for(len(ds), 0.05),
+            beta=0.05,
+            clean_clean=ds.clean_clean,
+            classifier=OracleClassifier.from_pairs(ds.ground_truth),
+        )
+        mp_pipeline = MultiprocessERPipeline(config, workers=2, chunk_size=64)
+        assert mp_pipeline._threshold is None
+        assert not mp_pipeline._prefilter
+        result = mp_pipeline.run(ds.stream())
+        assert result.match_pairs == sequential_oracle_pairs(ds)
+
+
+def sequential_oracle_pairs(ds):
+    sequential = StreamERPipeline(config_for(ds), instrument=False)
+    sequential.process_many(ds.stream())
+    return sequential.cl.matches.pairs()
