@@ -7,12 +7,16 @@ Subcommands
 ``link``      Clean-clean ER across two files.
 ``generate``  Emit a synthetic catalog dataset (entities as JSON lines,
               ground truth alongside) for experimentation.
+``metrics``   Run a file through a chosen executor with the metrics
+              registry enabled and print the Prometheus text exposition
+              (or a JSON snapshot) of the run.
 
 Examples
 --------
     repro-er dedupe products.csv --threshold 0.6 --clusters
     repro-er link shop_a.csv shop_b.jsonl --alpha-fraction 0.05
     repro-er generate cora --scale 0.5 --out cora.jsonl
+    repro-er metrics products.csv --executor thread --format prometheus
 """
 
 from __future__ import annotations
@@ -150,6 +154,48 @@ def cmd_profile(args: argparse.Namespace, out) -> int:
     return 0
 
 
+def cmd_metrics(args: argparse.Namespace, out) -> int:
+    from repro.observability import MetricsRegistry, to_json, to_prometheus
+
+    entities = list(_read_file(args.file))
+    if not entities:
+        print("no entities found", file=sys.stderr)
+        return 1
+    registry = MetricsRegistry()
+    config = _config(args, len(entities), False)
+    if args.executor == "seq":
+        pipeline = StreamERPipeline(config, instrument=False, registry=registry)
+        pipeline.process_many(entities, on_error="dead_letter")
+    elif args.executor == "thread":
+        from repro.parallel import ParallelERPipeline
+
+        pipeline = ParallelERPipeline(
+            config, processes=args.processes, registry=registry
+        )
+        pipeline.run(entities)
+    else:  # mp
+        from repro.parallel import MultiprocessERPipeline
+
+        pipeline = MultiprocessERPipeline(
+            config, workers=max(2, args.processes // 4), registry=registry
+        )
+        pipeline.run(entities)
+    if args.format == "prometheus":
+        text = to_prometheus(registry)
+    else:
+        text = json.dumps(to_json(registry), indent=2) + "\n"
+    if args.out:
+        Path(args.out).write_text(text, encoding="utf-8")
+    else:
+        out.write(text)
+    print(
+        f"{args.executor} run over {len(entities)} entities: "
+        f"{len(registry.names())} metric families",
+        file=sys.stderr,
+    )
+    return 0
+
+
 def cmd_generate(args: argparse.Namespace, out) -> int:
     dataset = load(args.dataset, scale=args.scale)
     target = Path(args.out) if args.out else None
@@ -206,6 +252,20 @@ def build_parser() -> argparse.ArgumentParser:
     profile = sub.add_parser("profile", help="schema/token statistics of a file")
     profile.add_argument("file", help="CSV or JSON-lines input")
     profile.set_defaults(func=cmd_profile)
+
+    metrics = sub.add_parser(
+        "metrics", help="run a file with metrics on; print the export"
+    )
+    metrics.add_argument("file", help="CSV or JSON-lines input")
+    metrics.add_argument("--executor", choices=("seq", "thread", "mp"),
+                         default="seq", help="which executor to run")
+    metrics.add_argument("--format", choices=("prometheus", "json"),
+                         default="prometheus", help="export format")
+    metrics.add_argument("--processes", type=int, default=8,
+                         help="worker budget for the parallel executors")
+    metrics.add_argument("--out", help="write the export here (default stdout)")
+    add_pipeline_options(metrics)
+    metrics.set_defaults(func=cmd_metrics)
 
     generate = sub.add_parser("generate", help="emit a synthetic dataset")
     generate.add_argument("dataset", choices=DATASET_NAMES)

@@ -19,6 +19,9 @@ from repro.core.config import StreamERConfig
 from repro.core.plan import PipelinePlan
 from repro.core.state import ERState
 from repro.errors import ConfigurationError
+from repro.observability.instrument import DEAD_LETTERS, ENTITIES, ENTITY_LATENCY_SECONDS
+from repro.observability.registry import NULL_REGISTRY, MetricsRegistry
+from repro.observability.trace import Tracer
 from repro.types import DeadLetter, EntityDescription, Match, StageTimings
 
 
@@ -109,6 +112,15 @@ class StreamERPipeline:
         A pre-built :class:`~repro.core.plan.PipelinePlan` to compile; by
         default one is derived from ``config``.  When given, its embedded
         config wins.
+    registry:
+        An optional :class:`~repro.observability.MetricsRegistry`; when
+        enabled, the pipeline emits the shared metric vocabulary (see
+        ``docs/observability.md``).  Defaults to the disabled
+        ``NULL_REGISTRY`` — zero overhead.
+    tracer:
+        An optional :class:`~repro.observability.Tracer`; sampled
+        entities get a span-style per-stage
+        :class:`~repro.observability.EntityTrace`.
 
     The optional-stage attributes (``bg``, ``cc``) are ``None`` when the
     plan dropped those nodes (block/comparison cleaning disabled).
@@ -120,13 +132,20 @@ class StreamERPipeline:
         instrument: bool = True,
         backend: StateBackend | None = None,
         plan: PipelinePlan | None = None,
+        registry: MetricsRegistry | None = None,
+        tracer: Tracer | None = None,
     ) -> None:
         self.plan = plan if plan is not None else PipelinePlan.from_config(config)
         self.config = self.plan.config
         self.instrument = instrument
         self.timings = StageTimings()
-        self.compiled = self.plan.compile(backend)
+        self.registry = registry if registry is not None else NULL_REGISTRY
+        self.tracer = tracer
+        self.compiled = self.plan.compile(backend, registry=self.registry)
         self.backend = self.compiled.backend
+        self._entities_metric = self.registry.counter(ENTITIES)
+        self._latency_metric = self.registry.histogram(ENTITY_LATENCY_SECONDS)
+        self._metrics_on = self.registry.enabled
         self.dr = self.compiled.get("dr")
         self.bb = self.compiled.get("bb+bp")
         self.bg = self.compiled.get("bg")
@@ -156,17 +175,34 @@ class StreamERPipeline:
 
     def process(self, entity: EntityDescription) -> list[Match]:
         """Run one entity end to end; returns the new matches it produced."""
+        seq = self._entities_processed
         self._entities_processed += 1
-        if self.instrument:
+        trace = self.tracer.start(seq, entity.eid) if self.tracer is not None else None
+        entity_start = time.perf_counter() if (self._metrics_on or trace) else 0.0
+        if self.instrument or trace is not None:
             message: object = entity
             for stage in self._stages:
                 start = time.perf_counter()
+                if trace is not None:
+                    # No queues in the sequential executor: a stage's
+                    # enqueue instant is its service start.
+                    trace.record_start(stage.name, at=start)
                 message = stage(message)
-                self.timings.add(stage.name, time.perf_counter() - start)
-            return message  # type: ignore[return-value]
-        out = entity
-        for stage in self._stages:
-            out = stage(out)
+                end = time.perf_counter()
+                if self.instrument:
+                    self.timings.add(stage.name, end - start)
+                if trace is not None:
+                    trace.record_finish(stage.name, at=end)
+            out = message
+        else:
+            out = entity
+            for stage in self._stages:
+                out = stage(out)
+        if self._metrics_on:
+            self._entities_metric.inc()
+            self._latency_metric.observe(time.perf_counter() - entity_start)
+        if trace is not None:
+            trace.complete()
         return out  # type: ignore[return-value]
 
     def process_many(
@@ -211,6 +247,8 @@ class StreamERPipeline:
                 dead.append(letter)
                 self.dead_letters.append(letter)
                 self.items_failed += 1
+                if self._metrics_on:
+                    self.registry.counter(DEAD_LETTERS, stage="pipeline").inc()
         elapsed = time.perf_counter() - wall_start
         end_ghosted = self.bg.ghosted_keys if self.bg is not None else 0
         return ERResult(

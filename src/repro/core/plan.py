@@ -53,6 +53,8 @@ from repro.core.stages import (
     LoadManagementStage,
 )
 from repro.errors import ConfigurationError
+from repro.observability.instrument import InstrumentedStage, declare_pipeline_metrics
+from repro.observability.registry import NULL_REGISTRY, MetricsRegistry
 
 __all__ = [
     "STAGE_ORDER",
@@ -188,9 +190,22 @@ class PipelinePlan:
 
     # -- compilation ---------------------------------------------------
 
-    def compile(self, backend: StateBackend | None = None) -> "CompiledPipeline":
-        """Instantiate every active stage against one state backend."""
-        return CompiledPipeline(self, backend if backend is not None else InMemoryBackend())
+    def compile(
+        self,
+        backend: StateBackend | None = None,
+        registry: MetricsRegistry | None = None,
+    ) -> "CompiledPipeline":
+        """Instantiate every active stage against one state backend.
+
+        With an enabled ``registry``, every stage is wrapped in an
+        :class:`~repro.observability.instrument.InstrumentedStage` so all
+        executors compiling this plan emit the shared metric vocabulary.
+        """
+        return CompiledPipeline(
+            self,
+            backend if backend is not None else InMemoryBackend(),
+            registry=registry,
+        )
 
 
 class CompiledPipeline:
@@ -200,14 +215,33 @@ class CompiledPipeline:
     name → stage callable, plus the backend that owns all mutable state.
     Dropped optional nodes are simply absent — executors query with
     :meth:`get` and treat ``None`` as "not in this run".
+
+    With an enabled metrics ``registry``, stage callables are
+    :class:`~repro.observability.instrument.InstrumentedStage` wrappers —
+    transparent for attribute access (``compiled.get("cg").generated``
+    still resolves) but recording per-stage service time, item counts and
+    the comparison/match counters into the registry.  With the default
+    ``NULL_REGISTRY``, stages are left bare and nothing is recorded.
     """
 
-    def __init__(self, plan: PipelinePlan, backend: StateBackend) -> None:
+    def __init__(
+        self,
+        plan: PipelinePlan,
+        backend: StateBackend,
+        registry: MetricsRegistry | None = None,
+    ) -> None:
         self.plan = plan
         self.backend = backend
+        self.registry = registry if registry is not None else NULL_REGISTRY
         self._stages: dict[str, Callable] = {
             spec.name: spec.factory(plan.config, backend) for spec in plan.specs
         }
+        if self.registry.enabled:
+            declare_pipeline_metrics(self.registry, self.plan.stage_names())
+            self._stages = {
+                name: InstrumentedStage(name, stage, self.registry)
+                for name, stage in self._stages.items()
+            }
 
     @property
     def names(self) -> tuple[str, ...]:

@@ -13,6 +13,7 @@
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from typing import Iterable
 
@@ -98,7 +99,13 @@ class LatencySummary:
             return cls(count=0, mean=0.0, p50=0.0, p95=0.0, p99=0.0, maximum=0.0)
 
         def pct(q: float) -> float:
-            index = min(len(data) - 1, int(q * len(data)))
+            # Nearest-rank: the q-quantile is the ceil(q·n)-th order
+            # statistic (1-based).  The previous floor-index form
+            # ``int(q*n)`` systematically picked the *next* order statistic
+            # (e.g. the 6th of 10 samples for p50), biasing every
+            # percentile high — visibly so for small samples and exactly at
+            # the even-n median.
+            index = min(len(data) - 1, max(0, math.ceil(q * len(data)) - 1))
             return data[index]
 
         return cls(
@@ -118,7 +125,11 @@ def throughput_series(
 
     ``completion_times`` are absolute end-to-end completion timestamps
     (seconds, any epoch); the series covers the span of the data in fixed
-    windows, including empty ones.
+    windows, including empty ones.  The final window usually covers only
+    part of ``window`` (streams rarely end on a window boundary), so its
+    rate divides by the span the data actually covers — dividing the
+    final partial count by the full width would deflate the last point of
+    every series (and, for short runs, the whole series).
     """
     times = sorted(completion_times)
     if not times or window <= 0:
@@ -130,6 +141,15 @@ def throughput_series(
     for t in times:
         index = min(n_windows - 1, int((t - start) / window))
         counts[index] += 1
-    return [
-        (start + (k + 1) * window, counts[k] / window) for k in range(n_windows)
-    ]
+    series = []
+    for k in range(n_windows):
+        if k < n_windows - 1:
+            span = window
+        else:
+            # Covered span of the final window; degenerate cases (all
+            # completions at one instant) fall back to the full width.
+            span = end - (start + k * window)
+            if span <= 0:
+                span = window
+        series.append((start + (k + 1) * window, counts[k] / span))
+    return series

@@ -1,0 +1,168 @@
+"""Stage-level instrumentation: the one vocabulary every executor speaks.
+
+The point of the observability layer is that the sequential pipeline, the
+thread framework (PP/MPP), the multiprocess executor, and the simulator
+all emit the *same* metric names for the same concepts, so a dashboard
+(or a differential test) built against one executor reads all four.  The
+canonical families:
+
+========================================  =========  ======================================
+name                                      kind       meaning
+========================================  =========  ======================================
+``er_stage_items_total{stage}``           counter    items a stage finished processing
+``er_stage_service_seconds{stage}``       histogram  per-item stage service time
+``er_queue_depth{stage}``                 gauge      stage input-queue depth at last put/get
+``er_dead_letters_total{stage}``          counter    items dead-lettered at the stage
+``er_retries_total{stage}``               counter    supervised re-executions at the stage
+``er_comparisons_generated_total``        counter    candidate pairs out of ``f_cg``
+``er_comparisons_executed_total``         counter    pairs actually scored by ``f_co``
+``er_entities_total``                     counter    entities admitted into the run
+``er_matches_total``                      counter    new matches recorded by ``f_cl``
+``er_entity_latency_seconds``             histogram  end-to-end per-entity latency
+========================================  =========  ======================================
+
+:func:`declare_pipeline_metrics` pre-registers the full family set for a
+plan's active stages, so every export carries the complete vocabulary
+(zero-valued where an executor has nothing to report — e.g. queue depth
+in the sequential pipeline) and name-set comparisons across executors are
+exact.
+
+:class:`InstrumentedStage` wraps a stage callable with timing and the
+stage-specific counters while *delegating attribute access* to the
+wrapped stage — executors and tests that read ``cg.generated`` or
+``bb.pruned_blocks`` through the compiled plan keep working unchanged.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterable
+from time import perf_counter
+
+from repro.observability.registry import MetricsRegistry
+
+__all__ = [
+    "STAGE_ITEMS",
+    "STAGE_SERVICE_SECONDS",
+    "QUEUE_DEPTH",
+    "DEAD_LETTERS",
+    "RETRIES",
+    "COMPARISONS_GENERATED",
+    "COMPARISONS_EXECUTED",
+    "ENTITIES",
+    "MATCHES",
+    "ENTITY_LATENCY_SECONDS",
+    "PIPELINE_METRIC_NAMES",
+    "declare_pipeline_metrics",
+    "InstrumentedStage",
+]
+
+STAGE_ITEMS = "er_stage_items_total"
+STAGE_SERVICE_SECONDS = "er_stage_service_seconds"
+QUEUE_DEPTH = "er_queue_depth"
+DEAD_LETTERS = "er_dead_letters_total"
+RETRIES = "er_retries_total"
+COMPARISONS_GENERATED = "er_comparisons_generated_total"
+COMPARISONS_EXECUTED = "er_comparisons_executed_total"
+ENTITIES = "er_entities_total"
+MATCHES = "er_matches_total"
+ENTITY_LATENCY_SECONDS = "er_entity_latency_seconds"
+
+#: Every family of the shared vocabulary (stage-labelled and global).
+PIPELINE_METRIC_NAMES: tuple[str, ...] = (
+    STAGE_ITEMS,
+    STAGE_SERVICE_SECONDS,
+    QUEUE_DEPTH,
+    DEAD_LETTERS,
+    RETRIES,
+    COMPARISONS_GENERATED,
+    COMPARISONS_EXECUTED,
+    ENTITIES,
+    MATCHES,
+    ENTITY_LATENCY_SECONDS,
+)
+
+
+def declare_pipeline_metrics(
+    registry: MetricsRegistry, stage_names: Iterable[str]
+) -> None:
+    """Pre-register the full metric vocabulary for the given stages.
+
+    Idempotent; a no-op on a disabled registry.  Called by
+    :class:`~repro.core.plan.CompiledPipeline` (covering the three real
+    executors) and by the simulator.
+    """
+    if not registry.enabled:
+        return
+    for stage in stage_names:
+        registry.counter(STAGE_ITEMS, stage=stage)
+        registry.histogram(STAGE_SERVICE_SECONDS, stage=stage)
+        registry.gauge(QUEUE_DEPTH, stage=stage)
+        registry.counter(DEAD_LETTERS, stage=stage)
+        registry.counter(RETRIES, stage=stage)
+    registry.counter(COMPARISONS_GENERATED)
+    registry.counter(COMPARISONS_EXECUTED)
+    registry.counter(ENTITIES)
+    registry.counter(MATCHES)
+    registry.histogram(ENTITY_LATENCY_SECONDS)
+
+
+class InstrumentedStage:
+    """A stage callable wrapped with service timing and item counting.
+
+    Attribute reads fall through to the wrapped stage, so counters like
+    ``generated`` / ``pruned_blocks`` / ``matches`` stay reachable through
+    the compiled plan whether or not metrics are on.
+    """
+
+    __slots__ = ("inner", "name", "_service", "_items", "_observe_message")
+
+    def __init__(self, name: str, inner: Callable, registry: MetricsRegistry) -> None:
+        self.inner = inner
+        self.name = name
+        self._service = registry.histogram(STAGE_SERVICE_SECONDS, stage=name)
+        self._items = registry.counter(STAGE_ITEMS, stage=name)
+        self._observe_message = _message_observer(name, registry)
+
+    def __call__(self, message):
+        start = perf_counter()
+        out = self.inner(message)
+        self._service.observe(perf_counter() - start)
+        self._items.inc()
+        if self._observe_message is not None:
+            self._observe_message(message, out)
+        return out
+
+    def __getattr__(self, attr):
+        return getattr(self.inner, attr)
+
+
+def _message_observer(name: str, registry: MetricsRegistry):
+    """Stage-specific counter hook (None for stages with nothing extra).
+
+    The hooks read sizes off the inter-stage messages rather than diffing
+    stage-internal counters, so they stay correct when several executors
+    (or several supervised retries) interleave on one compiled plan.
+    """
+    if name == "cg":
+        generated = registry.counter(COMPARISONS_GENERATED)
+
+        def observe_cg(message, out) -> None:
+            generated.inc(len(out.candidates))
+
+        return observe_cg
+    if name == "co":
+        executed = registry.counter(COMPARISONS_EXECUTED)
+
+        def observe_co(message, out) -> None:
+            executed.inc(len(message.comparisons))
+
+        return observe_co
+    if name == "cl":
+        matches = registry.counter(MATCHES)
+
+        def observe_cl(message, out) -> None:
+            if out:
+                matches.inc(len(out))
+
+        return observe_cl
+    return None

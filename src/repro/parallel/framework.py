@@ -51,12 +51,42 @@ from repro.core.backends import StateBackend
 from repro.core.config import StreamERConfig, SupervisionPolicy
 from repro.core.plan import PipelinePlan
 from repro.errors import PipelineStoppedError
+from repro.observability.instrument import (
+    ENTITIES,
+    ENTITY_LATENCY_SECONDS,
+    QUEUE_DEPTH,
+)
+from repro.observability.registry import NULL_REGISTRY, MetricsRegistry
+from repro.observability.trace import Tracer
 from repro.parallel.allocation import allocate_processes, paper_example_times
 from repro.parallel.faults import FaultInjector, FaultPlan, wrap_stages
 from repro.parallel.supervision import Supervisor, format_liveness
 from repro.types import DeadLetter, EntityDescription, Match
 
 _STOP = object()
+
+
+class _MeteredQueue(queue.Queue):
+    """A bounded queue that samples its depth into a gauge at put/get.
+
+    Sampling at the mutation points (rather than a poller) means the
+    gauge is exact at every transition the metric can possibly observe,
+    and costs one ``qsize()`` + one locked store per operation — only
+    paid when metrics are enabled (plain ``queue.Queue`` otherwise).
+    """
+
+    def __init__(self, maxsize: int, gauge) -> None:
+        super().__init__(maxsize=maxsize)
+        self._gauge = gauge
+
+    def put(self, item, block: bool = True, timeout: float | None = None) -> None:
+        super().put(item, block, timeout)
+        self._gauge.set(self.qsize())
+
+    def get(self, block: bool = True, timeout: float | None = None):
+        item = super().get(block, timeout)
+        self._gauge.set(self.qsize())
+        return item
 
 
 class _ReorderBuffer:
@@ -153,6 +183,8 @@ class _StageRunner:
         on_result=None,
         reorder: "_ReorderBuffer | None" = None,
         hole_sink: "_ReorderBuffer | None" = None,
+        tracer: "Tracer | None" = None,
+        downstream_name: str | None = None,
     ) -> None:
         self.name = name
         self.fn = fn
@@ -166,6 +198,8 @@ class _StageRunner:
         self.on_result = on_result
         self.reorder = reorder
         self.hole_sink = hole_sink
+        self.tracer = tracer
+        self.downstream_name = downstream_name
         self._active = workers
         self._lock = threading.Lock()
         self.threads = [
@@ -199,18 +233,29 @@ class _StageRunner:
         return batch, False
 
     def _execute(self, enqueue_time: float, seq: int, payload) -> None:
+        trace = self.tracer.get(seq) if self.tracer is not None else None
+        if trace is not None:
+            trace.record_start(self.name)
         ok, result = self.supervisor.execute(self.name, self.fn, payload)
         if not ok:
             # Dead-lettered; surviving items flow on.  A death upstream of
             # the serialization point is a permanent gap in the sequence —
             # tell the serializer's reorder buffer not to wait for it.
+            if trace is not None:
+                trace.dead_letter(self.name)
             if self.hole_sink is not None:
                 self.hole_sink.hole(seq)
             return
+        if trace is not None:
+            trace.record_finish(self.name)
         if self.out_queue is not None:
+            if trace is not None and self.downstream_name is not None:
+                trace.record_enqueue(self.downstream_name)
             self.out_queue.put((enqueue_time, seq, result))
         elif self.on_result is not None:
             self.on_result(enqueue_time, result)
+            if trace is not None:
+                trace.complete()
 
     def _run(self) -> None:
         # The finally is the anti-deadlock guarantee: no matter how this
@@ -289,6 +334,16 @@ class ParallelERPipeline:
     plan:
         A pre-built :class:`~repro.core.plan.PipelinePlan` to compile; by
         default one is derived from ``config``.
+    registry:
+        Optional :class:`~repro.observability.MetricsRegistry`; when
+        enabled, the framework emits the shared metric vocabulary —
+        per-stage service histograms and item counts (via the compiled
+        plan), queue-depth gauges sampled at every put/get, dead-letter
+        and retry counters (via the supervisor), and end-to-end latency.
+    tracer:
+        Optional :class:`~repro.observability.Tracer`; sampled entities
+        carry an :class:`~repro.observability.EntityTrace` recording
+        per-stage enqueue/start/finish timestamps across the worker pools.
     """
 
     def __init__(
@@ -303,15 +358,19 @@ class ParallelERPipeline:
         faults: FaultPlan | None = None,
         backend: StateBackend | None = None,
         plan: PipelinePlan | None = None,
+        registry: MetricsRegistry | None = None,
+        tracer: Tracer | None = None,
     ) -> None:
         self.plan = plan if plan is not None else PipelinePlan.from_config(config)
         self.config = self.plan.config
-        self.supervisor = Supervisor(supervision)
+        self.registry = registry if registry is not None else NULL_REGISTRY
+        self.tracer = tracer
+        self.supervisor = Supervisor(supervision, registry=self.registry)
         names = self.plan.stage_names()
         self.allocation = allocate_processes(
             stage_seconds or paper_example_times(), processes, stages=names
         )
-        self.compiled = self.plan.compile(backend)
+        self.compiled = self.plan.compile(backend, registry=self.registry)
         self.backend = self.compiled.backend
         self._cl_lock = threading.Lock()
         profiles = self.backend.profiles
@@ -345,11 +404,18 @@ class ParallelERPipeline:
         self._matches: list[Match] = []
         self._latencies: list[float] = []
         self._entities_in = 0
+        metrics_on = self.registry.enabled
+        entities_metric = self.registry.counter(ENTITIES)
+        latency_metric = self.registry.histogram(ENTITY_LATENCY_SECONDS)
 
         def on_final(enqueue_time: float, matches: list[Match]) -> None:
+            latency = time.perf_counter() - enqueue_time
             with self._results_lock:
                 self._matches.extend(matches)
-                self._latencies.append(time.perf_counter() - enqueue_time)
+                self._latencies.append(latency)
+            if metrics_on:
+                entities_metric.inc()
+                latency_metric.observe(latency)
 
         # Deterministic ordering at the serialization point: replicated
         # upstream workers may overtake each other, so the serializer pulls
@@ -362,7 +428,14 @@ class ParallelERPipeline:
             set(names[: names.index(first_ser)]) if first_ser is not None else set()
         )
 
-        queues = [queue.Queue(maxsize=queue_capacity) for _ in names]
+        if metrics_on:
+            # Queue i feeds stage names[i]; its depth is that stage's gauge.
+            queues: list[queue.Queue] = [
+                _MeteredQueue(queue_capacity, self.registry.gauge(QUEUE_DEPTH, stage=name))
+                for name in names
+            ]
+        else:
+            queues = [queue.Queue(maxsize=queue_capacity) for _ in names]
         self._input: "queue.Queue" = queues[0]
         self._seq = 0
         self._runners: list[_StageRunner] = []
@@ -387,6 +460,8 @@ class ParallelERPipeline:
                     on_result=on_final if out_queue is None else None,
                     reorder=self._sequencer if name == first_ser else None,
                     hole_sink=self._sequencer if name in pre_serial else None,
+                    tracer=tracer,
+                    downstream_name=names[index + 1] if index + 1 < len(names) else None,
                 )
             )
         self._started = False
@@ -408,7 +483,12 @@ class ParallelERPipeline:
         seq = self._seq
         self._seq += 1
         self._entities_in += 1
-        self._input.put((time.perf_counter(), seq, entity))
+        now = time.perf_counter()
+        if self.tracer is not None:
+            trace = self.tracer.start(seq, entity.eid, at=now)
+            if trace is not None:
+                trace.record_enqueue(self.plan.stage_names()[0], at=now)
+        self._input.put((now, seq, entity))
 
     def close(self, timeout: float | None = None) -> None:
         """Signal end of input; idempotent.
@@ -468,6 +548,11 @@ class ParallelERPipeline:
             }
             for runner in self._runners
         }
+
+    @property
+    def entities_processed(self) -> int:
+        """Entities submitted so far (monitoring reads this)."""
+        return self._entities_in
 
     @property
     def items_failed(self) -> int:

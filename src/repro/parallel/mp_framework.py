@@ -69,6 +69,14 @@ from repro.core.pipeline import ERResult
 from repro.core.plan import PipelinePlan
 from repro.core.stages import ScoredComparisons
 from repro.errors import ConfigurationError
+from repro.observability.instrument import (
+    COMPARISONS_EXECUTED,
+    ENTITIES,
+    STAGE_ITEMS,
+    STAGE_SERVICE_SECONDS,
+)
+from repro.observability.registry import NULL_REGISTRY, MetricsRegistry
+from repro.observability.trace import Tracer
 from repro.parallel.faults import FaultInjector, FaultPlan, FaultSpec
 from repro.parallel.supervision import Supervisor
 from repro.reading.interning import pack_ids
@@ -227,6 +235,17 @@ class MultiprocessERPipeline:
     plan:
         A pre-built :class:`~repro.core.plan.PipelinePlan` to compile; by
         default one is derived from ``config``.
+    registry:
+        An optional :class:`~repro.observability.MetricsRegistry`; when
+        enabled, the parent emits the shared metric vocabulary.  Front
+        stages are instrumented like everywhere else; the pool-side
+        comparison stage is observed from the parent (per-chunk turnaround
+        into ``er_stage_service_seconds{stage="co"}``).
+    tracer:
+        An optional :class:`~repro.observability.Tracer`; sampled entities
+        get per-stage spans for the parent-side front (the pooled ``co``
+        stage scores pairs in entity-mixed chunks, so it has no per-entity
+        span here).
 
     After a run, ``pairs_prefiltered`` counts the comparisons the parent
     dropped by the length prefilter (never dispatched) and
@@ -242,6 +261,8 @@ class MultiprocessERPipeline:
         faults: FaultPlan | None = None,
         backend: StateBackend | None = None,
         plan: PipelinePlan | None = None,
+        registry: MetricsRegistry | None = None,
+        tracer: Tracer | None = None,
     ) -> None:
         if workers < 1:
             raise ConfigurationError("workers must be >= 1")
@@ -251,9 +272,13 @@ class MultiprocessERPipeline:
         self.config = self.plan.config
         self.workers = workers
         self.chunk_size = chunk_size
-        self.supervisor = Supervisor(supervision)
-        self.compiled = self.plan.compile(backend)
+        self.registry = registry if registry is not None else NULL_REGISTRY
+        self.tracer = tracer
+        self.supervisor = Supervisor(supervision, registry=self.registry)
+        self.compiled = self.plan.compile(backend, registry=self.registry)
         self.backend = self.compiled.backend
+        self.entities_processed = 0
+        self._trace_seq = 0
         # The active front (``co`` runs on the pool, ``cl`` in the parent
         # below); optional nodes the plan dropped are simply absent.
         self._front_stages = self.plan.front_stage_names()
@@ -295,6 +320,14 @@ class MultiprocessERPipeline:
             self._fns[name] = injector
             self.fault_injectors[name] = injector
 
+    @property
+    def items_failed(self) -> int:
+        return self.supervisor.items_failed
+
+    @property
+    def retries_performed(self) -> int:
+        return self.supervisor.retries_performed
+
     def _front(
         self, entities: Iterable[EntityDescription]
     ) -> Iterator[list[Comparison]]:
@@ -302,18 +335,34 @@ class MultiprocessERPipeline:
 
         Each stage call runs under the supervisor: a poison entity is
         dead-lettered at the stage that rejected it and the stream keeps
-        flowing.
+        flowing.  Sampled entities get per-stage trace spans for the
+        parent-side front.
         """
+        tracer = self.tracer
         for entity in entities:
+            trace = None
+            if tracer is not None:
+                seq = self._trace_seq
+                self._trace_seq += 1
+                trace = tracer.start(seq, entity.eid)
             message: object = entity
             ok = True
             for name in self._front_stages:
+                if trace is not None:
+                    trace.record_start(name)
                 ok, message = self.supervisor.execute(
                     name, self._fns[name], message  # type: ignore[arg-type]
                 )
+                if trace is not None:
+                    if ok:
+                        trace.record_finish(name)
+                    else:
+                        trace.dead_letter(name)
                 if not ok:
                     break
             if ok:
+                if trace is not None:
+                    trace.complete()
                 yield message.comparisons  # type: ignore[union-attr]
 
     def _chunks(
@@ -390,10 +439,21 @@ class MultiprocessERPipeline:
         start = time.perf_counter()
         matches: list[Match] = []
         count_in = [0]
+        metrics_on = self.registry.enabled
+        if metrics_on:
+            entities_metric = self.registry.counter(ENTITIES)
+            co_service = self.registry.histogram(
+                STAGE_SERVICE_SECONDS, stage="co"
+            )
+            co_items = self.registry.counter(STAGE_ITEMS, stage="co")
+            executed_metric = self.registry.counter(COMPARISONS_EXECUTED)
 
         def counted(stream: Iterable[EntityDescription]):
             for entity in stream:
                 count_in[0] += 1
+                self.entities_processed += 1
+                if metrics_on:
+                    entities_metric.inc()
                 yield entity
 
         ctx = mp.get_context("fork" if "fork" in mp.get_all_start_methods() else "spawn")
@@ -411,9 +471,19 @@ class MultiprocessERPipeline:
                     yield self._encode_chunk(chunk)
 
             threshold = self._threshold
+            last_yield = time.perf_counter()
             for index, scores in enumerate(pool.imap(_score_chunk, payloads())):
                 chunk = pair_chunks[index]
                 pair_chunks[index] = []  # release memory as results drain
+                if metrics_on:
+                    # Pool-side scoring is observed from the parent: the
+                    # turnaround between successive result arrivals is the
+                    # closest analogue of per-chunk service time here.
+                    now = time.perf_counter()
+                    co_service.observe(now - last_yield)
+                    last_yield = now
+                    co_items.inc(len(chunk))
+                    executed_metric.inc(len(chunk))
                 scored = []
                 for comparison, (score, error) in zip(chunk, scores):
                     if error is not None:

@@ -38,6 +38,16 @@ from typing import Sequence
 
 from repro.core.plan import STAGE_ORDER, PipelinePlan
 from repro.errors import ConfigurationError
+from repro.observability.instrument import (
+    DEAD_LETTERS,
+    ENTITIES,
+    ENTITY_LATENCY_SECONDS,
+    QUEUE_DEPTH,
+    STAGE_ITEMS,
+    STAGE_SERVICE_SECONDS,
+    declare_pipeline_metrics,
+)
+from repro.observability.registry import NULL_REGISTRY, MetricsRegistry
 
 
 @dataclass(frozen=True)
@@ -248,6 +258,13 @@ class PipelineSimulator:
     real executors compile — so disabling an optional stage via the config
     drops its node from the simulation exactly as it does everywhere else.
     Without an explicit ``plan`` the full eight-stage graph is simulated.
+
+    With an enabled metrics ``registry``, runs emit the shared metric
+    vocabulary (see ``docs/observability.md``) — service times, item
+    counts, queue depths, dead letters and end-to-end latency, all in
+    *simulated* seconds.  The comparison/match counters the real stages
+    produce stay zero-valued here: the simulator moves abstract items, not
+    comparisons.
     """
 
     def __init__(
@@ -256,6 +273,7 @@ class PipelineSimulator:
         service: ServiceModel,
         config: SimulatorConfig | None = None,
         plan: PipelinePlan | None = None,
+        registry: MetricsRegistry | None = None,
     ) -> None:
         self.plan = plan
         self.stage_names: tuple[str, ...] = (
@@ -267,6 +285,9 @@ class PipelineSimulator:
         self.allocation = dict(allocation)
         self.service = service
         self.config = config or SimulatorConfig()
+        self.registry = registry if registry is not None else NULL_REGISTRY
+        if self.registry.enabled:
+            declare_pipeline_metrics(self.registry, self.stage_names)
 
     # The simulation core ------------------------------------------------
 
@@ -293,6 +314,23 @@ class PipelineSimulator:
             a.next = b
         first = stages[0]
 
+        metrics_on = self.registry.enabled
+        if metrics_on:
+            service_hist = {
+                s.name: self.registry.histogram(STAGE_SERVICE_SECONDS, stage=s.name)
+                for s in stages
+            }
+            items_ctr = {
+                s.name: self.registry.counter(STAGE_ITEMS, stage=s.name)
+                for s in stages
+            }
+            depth_gauge = {
+                s.name: self.registry.gauge(QUEUE_DEPTH, stage=s.name)
+                for s in stages
+            }
+            entities_ctr = self.registry.counter(ENTITIES)
+            latency_hist = self.registry.histogram(ENTITY_LATENCY_SECONDS)
+
         n = len(arrival_times)
         start_service = [-1.0] * n
         completion = [-1.0] * n
@@ -311,6 +349,8 @@ class PipelineSimulator:
 
         def enqueue(stage: _Stage, item: int) -> None:
             stage.queue.append(item)
+            if metrics_on:
+                depth_gauge[stage.name].set(len(stage.queue))
             if trace:
                 # Items blocked in an upstream worker were pre-registered at
                 # the moment they finished upstream service; keep that time.
@@ -362,6 +402,13 @@ class PipelineSimulator:
                             self.service.sample(item, stage.name) for item in batch
                         ]
                         duration = cfg.comm_overhead + sum(samples)
+                        if metrics_on:
+                            depth_gauge[stage.name].set(len(stage.queue))
+                            items_ctr[stage.name].inc(len(batch))
+                            hist = service_hist[stage.name]
+                            share = cfg.comm_overhead / len(batch)
+                            for sample in samples:
+                                hist.observe(sample + share)
                         if trace:
                             comm_share = cfg.comm_overhead / len(batch)
                             enq = enqueue_time[stage.name]
@@ -404,12 +451,20 @@ class PipelineSimulator:
                         dead_letters.extend(
                             (item, stage.name) for item in batch if item in failed
                         )
+                        if metrics_on:
+                            self.registry.counter(
+                                DEAD_LETTERS, stage=stage.name
+                            ).inc(len(failed))
                         batch = [item for item in batch if item not in failed]
                 if stage.next is None:
                     stage.busy -= 1
                     for item in batch:
                         completion[item] = clock
                         processed += 1
+                        if metrics_on:
+                            entities_ctr.inc()
+                            if start_service[item] >= 0:
+                                latency_hist.observe(clock - start_service[item])
                 else:
                     nxt = stage.next
                     space = nxt.space()

@@ -27,6 +27,8 @@ import time
 from typing import Callable
 
 from repro.core.config import SupervisionPolicy
+from repro.observability.instrument import DEAD_LETTERS, RETRIES
+from repro.observability.registry import NULL_REGISTRY, MetricsRegistry
 from repro.types import DeadLetter, EntityId, pair_key
 
 
@@ -56,10 +58,21 @@ def extract_entity_id(payload: object) -> EntityId | None:
 
 
 class Supervisor:
-    """Thread-safe failure collector shared by all workers of one pipeline."""
+    """Thread-safe failure collector shared by all workers of one pipeline.
 
-    def __init__(self, policy: SupervisionPolicy | None = None) -> None:
+    With an enabled metrics ``registry``, retries and dead letters are
+    additionally counted into the shared metric vocabulary
+    (``er_retries_total{stage}`` / ``er_dead_letters_total{stage}``), so
+    every supervised executor reports failures the same way.
+    """
+
+    def __init__(
+        self,
+        policy: SupervisionPolicy | None = None,
+        registry: MetricsRegistry | None = None,
+    ) -> None:
         self.policy = policy or SupervisionPolicy()
+        self.registry = registry if registry is not None else NULL_REGISTRY
         self._lock = threading.Lock()
         self.dead_letters: list[DeadLetter] = []
         self.retries_performed = 0
@@ -72,6 +85,8 @@ class Supervisor:
     def record_retry(self, stage: str) -> None:
         with self._lock:
             self.retries_performed += 1
+        if self.registry.enabled:
+            self.registry.counter(RETRIES, stage=stage).inc()
 
     def record_failure(
         self, stage: str, payload: object, error: BaseException | str, attempts: int
@@ -86,6 +101,8 @@ class Supervisor:
         with self._lock:
             self.dead_letters.append(letter)
             self.failures_by_stage[stage] = self.failures_by_stage.get(stage, 0) + 1
+        if self.registry.enabled:
+            self.registry.counter(DEAD_LETTERS, stage=stage).inc()
         return letter
 
     def execute(

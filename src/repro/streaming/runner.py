@@ -21,13 +21,15 @@ from typing import Iterable, Sequence
 from repro.core.config import StreamERConfig
 from repro.core.plan import PipelinePlan
 from repro.evaluation.metrics import LatencySummary, throughput_series
+from repro.observability.export import write_json_snapshot
+from repro.observability.registry import MetricsRegistry
+from repro.parallel.allocation import allocate_processes
 from repro.parallel.framework import ParallelERPipeline
 from repro.parallel.simulator import (
     PipelineSimulator,
     ServiceModel,
     SimulatorConfig,
 )
-from repro.parallel.allocation import allocate_processes
 from repro.streaming.source import RateLimitedSource, arrival_schedule
 from repro.types import EntityDescription
 
@@ -58,9 +60,11 @@ class StreamRunReport:
             n = len(data)
             lo_index, hi_index = n // 4, (3 * n) // 4
             span = data[hi_index] - data[lo_index]
-            if span <= 0.0:
-                return 0.0
-            return (hi_index - lo_index) / span
+            if span > 0.0:
+                return (hi_index - lo_index) / span
+            # A zero interquartile span (batch completions, coarse clocks:
+            # many identical timestamps) is a degenerate sample, not a
+            # zero-throughput run — fall through to the windowed series.
         if not self.throughput:
             return 0.0
         half = self.throughput[len(self.throughput) // 2 :]
@@ -71,7 +75,13 @@ class StreamRunReport:
 
 
 class LiveStreamRunner:
-    """Drive the thread framework from a real rate-limited source."""
+    """Drive the thread framework from a real rate-limited source.
+
+    With a ``registry``, each run's pipeline emits the shared metric
+    vocabulary; ``metrics_path`` additionally writes a JSON snapshot of
+    the registry when the run finishes (see
+    :func:`repro.observability.export.write_json_snapshot`).
+    """
 
     def __init__(
         self,
@@ -79,12 +89,16 @@ class LiveStreamRunner:
         processes: int = 8,
         micro_batch_size: int = 1,
         stage_seconds: dict[str, float] | None = None,
+        registry: MetricsRegistry | None = None,
+        metrics_path: str | None = None,
     ) -> None:
         self.config = config
         self.plan = PipelinePlan.from_config(config)
         self.processes = processes
         self.micro_batch_size = micro_batch_size
         self.stage_seconds = stage_seconds
+        self.registry = registry
+        self.metrics_path = metrics_path
 
     def run(
         self,
@@ -97,8 +111,11 @@ class LiveStreamRunner:
             processes=self.processes,
             stage_seconds=self.stage_seconds,
             micro_batch_size=self.micro_batch_size,
+            registry=self.registry,
         )
         result = pipeline.run(RateLimitedSource(entities, rate))
+        if self.registry is not None and self.metrics_path is not None:
+            write_json_snapshot(self.registry, self.metrics_path)
         # Completion timestamps are recoverable from elapsed + latencies
         # only approximately; for live runs report latency stats and the
         # mean output rate.
@@ -124,10 +141,16 @@ class SimulatedStreamRunner:
         service: ServiceModel,
         processes: int = 25,
         config: SimulatorConfig | None = None,
+        registry: MetricsRegistry | None = None,
+        metrics_path: str | None = None,
     ) -> None:
         self.service = service
         self.allocation = allocate_processes(service.mean_seconds, processes)
-        self.simulator = PipelineSimulator(self.allocation, service, config)
+        self.simulator = PipelineSimulator(
+            self.allocation, service, config, registry=registry
+        )
+        self.registry = registry
+        self.metrics_path = metrics_path
 
     @classmethod
     def calibrated(
@@ -157,6 +180,8 @@ class SimulatedStreamRunner:
     def run(self, n_items: int, rate: float, window: float = 1.0) -> StreamRunReport:
         """Simulate ``n_items`` arriving at ``rate`` descriptions/second."""
         result = self.simulator.run(arrival_schedule(n_items, rate))
+        if self.registry is not None and self.metrics_path is not None:
+            write_json_snapshot(self.registry, self.metrics_path)
         return StreamRunReport(
             source_rate=rate,
             entities=len(result.completion_times),

@@ -90,9 +90,36 @@ class TestLatencySummary:
         summary = LatencySummary.from_samples([0.1 * i for i in range(1, 101)])
         assert summary.count == 100
         assert summary.mean == pytest.approx(5.05)
-        assert summary.p50 == pytest.approx(5.1)
+        assert summary.p50 == pytest.approx(5.0)
+        assert summary.p95 == pytest.approx(9.5)
+        assert summary.p99 == pytest.approx(9.9)
         assert summary.maximum == pytest.approx(10.0)
         assert summary.p95 <= summary.p99 <= summary.maximum
+
+    def test_even_n_median_is_lower_middle(self):
+        # Nearest-rank regression: the old floor-index form returned the
+        # *upper* middle (3) for an even-sized sample.
+        summary = LatencySummary.from_samples([1.0, 2.0, 3.0, 4.0])
+        assert summary.p50 == pytest.approx(2.0)
+
+    def test_small_sample_percentiles_not_biased_high(self):
+        # With 10 samples the q-quantile is the ceil(10q)-th order
+        # statistic: p50 → 5th (5.0), p95 → 10th (10.0), p99 → 10th.
+        summary = LatencySummary.from_samples([float(i) for i in range(1, 11)])
+        assert summary.p50 == pytest.approx(5.0)
+        assert summary.p95 == pytest.approx(10.0)
+        assert summary.p99 == pytest.approx(10.0)
+
+    def test_single_sample(self):
+        summary = LatencySummary.from_samples([0.7])
+        assert summary.p50 == summary.p95 == summary.p99 == pytest.approx(0.7)
+
+    @given(st.lists(st.floats(min_value=0, max_value=100), min_size=1, max_size=50))
+    def test_percentiles_are_order_statistics(self, samples):
+        summary = LatencySummary.from_samples(samples)
+        data = sorted(samples)
+        assert summary.p50 in data
+        assert summary.p50 <= summary.p95 <= summary.p99 <= summary.maximum
 
     def test_empty(self):
         summary = LatencySummary.from_samples([])
@@ -100,22 +127,49 @@ class TestLatencySummary:
         assert summary.maximum == 0.0
 
 
+def _covered_spans(times: list[float], window: float, n_windows: int) -> list[float]:
+    """The denominators throughput_series uses: full width for every
+    window except a partial final one."""
+    start, end = min(times), max(times)
+    spans = [window] * n_windows
+    final = end - (start + (n_windows - 1) * window)
+    spans[-1] = final if final > 0 else window
+    return spans
+
+
 class TestThroughputSeries:
     def test_counts_per_window(self):
         series = throughput_series([0.1, 0.2, 0.3, 1.1, 1.2], window=1.0)
         assert len(series) == 2
         assert series[0][1] == pytest.approx(3.0)
-        assert series[1][1] == pytest.approx(2.0)
+        # The final window covers only 1.1..1.2 — 2 completions in 0.1 s,
+        # not in a full second (the old code reported 2.0/s here).
+        assert series[1][1] == pytest.approx(20.0)
 
     def test_empty(self):
         assert throughput_series([]) == []
 
-    def test_window_scaling(self):
+    def test_stream_ending_mid_window(self):
+        # 4 completions over 0.3 s: the single (final) window is partial,
+        # so the rate is 4/0.3 ≈ 13.3/s, not 4/0.5 = 8/s.
         series = throughput_series([0.0, 0.1, 0.2, 0.3], window=0.5)
-        assert series[0][1] == pytest.approx(8.0)  # 4 completions / 0.5 s
+        assert len(series) == 1
+        assert series[0][1] == pytest.approx(4.0 / 0.3)
+
+    def test_full_windows_unchanged(self):
+        # Completions spanning exactly full windows keep the plain
+        # count/window rates.
+        series = throughput_series([0.0, 0.25, 0.5, 1.0, 2.0], window=1.0)
+        assert series[0][1] == pytest.approx(3.0)
+        assert series[1][1] == pytest.approx(1.0)
+
+    def test_identical_timestamps_fall_back_to_full_width(self):
+        series = throughput_series([5.0, 5.0, 5.0], window=1.0)
+        assert series == [(6.0, pytest.approx(3.0))]
 
     @given(st.lists(st.floats(min_value=0, max_value=100), min_size=1, max_size=50))
     def test_total_completions_conserved(self, times):
         series = throughput_series(times, window=1.0)
-        total = sum(rate * 1.0 for _, rate in series)
+        spans = _covered_spans(times, 1.0, len(series))
+        total = sum(rate * span for (_, rate), span in zip(series, spans))
         assert total == pytest.approx(len(times))

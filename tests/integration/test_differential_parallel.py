@@ -25,7 +25,16 @@ import pytest
 from repro.classification import OracleClassifier
 from repro.core import StreamERConfig, StreamERPipeline, SupervisionPolicy
 from repro.core.backends import ShardedBackend
+from repro.core.plan import STAGE_ORDER
 from repro.datasets import DatasetSpec, generate
+from repro.observability import (
+    COMPARISONS_EXECUTED,
+    ENTITIES,
+    MATCHES,
+    PIPELINE_METRIC_NAMES,
+    MetricsRegistry,
+    Tracer,
+)
 from repro.parallel import FaultSpec, MultiprocessERPipeline, ParallelERPipeline
 
 RUN_TIMEOUT = 120.0
@@ -323,3 +332,107 @@ class TestRetriesPreserveEquivalence:
         assert result.items_failed == 0
         assert result.retries > 0
         assert result.match_pairs == expected
+
+
+class TestObservabilityAcrossExecutors:
+    """All four executors must emit the same metric vocabulary, and
+    enabling metrics must not change a single match."""
+
+    @staticmethod
+    def _simulator_registry() -> "MetricsRegistry":
+        from repro.parallel import PipelineSimulator, ServiceModel
+
+        registry = MetricsRegistry()
+        service = ServiceModel(
+            mean_seconds={s: 1e-4 for s in STAGE_ORDER},
+            cv=0.0,
+            spike_probability=0.0,
+        )
+        PipelineSimulator(
+            {s: 2 for s in STAGE_ORDER}, service, registry=registry
+        ).run_batch(50)
+        return registry
+
+    def test_metric_names_identical_across_executors(self, seeded_dirty):
+        config = config_for(seeded_dirty)
+        registries = {"simulator": self._simulator_registry()}
+
+        registries["seq"] = MetricsRegistry()
+        StreamERPipeline(
+            config, instrument=False, registry=registries["seq"]
+        ).process_many(seeded_dirty.stream())
+
+        registries["thread"] = MetricsRegistry()
+        ParallelERPipeline(
+            config, processes=8, registry=registries["thread"]
+        ).run(seeded_dirty.stream(), timeout=RUN_TIMEOUT)
+
+        registries["mp"] = MetricsRegistry()
+        MultiprocessERPipeline(
+            config, workers=2, chunk_size=64, registry=registries["mp"]
+        ).run(seeded_dirty.stream())
+
+        name_sets = {label: r.names() for label, r in registries.items()}
+        assert name_sets["seq"] == set(PIPELINE_METRIC_NAMES)
+        for label, names in name_sets.items():
+            assert names == name_sets["seq"], f"{label} diverges"
+
+    def test_enabling_metrics_changes_no_matches(self, seeded_dirty):
+        expected = sequential_pairs(seeded_dirty)
+
+        registry = MetricsRegistry()
+        plain = StreamERPipeline(
+            config_for(seeded_dirty), instrument=False, registry=registry
+        )
+        plain.process_many(seeded_dirty.stream())
+        assert plain.cl.matches.pairs() == expected
+        assert registry.value(ENTITIES) == len(seeded_dirty)
+        assert registry.value(MATCHES) == len(expected)
+
+        thread_registry = MetricsRegistry()
+        parallel = ParallelERPipeline(
+            config_for(seeded_dirty), processes=8, registry=thread_registry
+        )
+        result = parallel.run(seeded_dirty.stream(), timeout=RUN_TIMEOUT)
+        assert result.match_pairs == expected
+        assert thread_registry.value(ENTITIES) == len(seeded_dirty)
+
+        mp_registry = MetricsRegistry()
+        mp_pipeline = MultiprocessERPipeline(
+            config_for(seeded_dirty), workers=2, chunk_size=64,
+            registry=mp_registry,
+        )
+        mp_result = mp_pipeline.run(seeded_dirty.stream())
+        assert mp_result.match_pairs == expected
+        assert mp_registry.value(ENTITIES) == len(seeded_dirty)
+        assert mp_registry.value(COMPARISONS_EXECUTED) > 0
+
+    def test_thread_framework_stage_metrics_populate(self, seeded_dirty):
+        registry = MetricsRegistry()
+        tracer = Tracer(every=10)
+        parallel = ParallelERPipeline(
+            config_for(seeded_dirty), processes=8,
+            registry=registry, tracer=tracer,
+        )
+        parallel.run(seeded_dirty.stream(), timeout=RUN_TIMEOUT)
+        for stage in parallel.plan.stage_names():
+            assert registry.value("er_stage_items_total", stage=stage) > 0
+            hist = registry.get("er_stage_service_seconds", stage=stage)
+            assert hist is not None and hist.count > 0
+        latency = registry.get("er_entity_latency_seconds")
+        assert latency.count == len(seeded_dirty)
+        traces = tracer.traces()
+        assert traces and all(t.seq % 10 == 0 for t in traces)
+        completed = [t for t in traces if t.completed_at is not None]
+        assert completed
+        assert all(t.spans for t in completed)
+
+    def test_dead_letters_counted_in_registry(self, seeded_dirty):
+        registry = MetricsRegistry()
+        parallel = ParallelERPipeline(
+            config_for(seeded_dirty), processes=8, registry=registry,
+            faults={"dr": FaultSpec(probability=0.2, seed=5)},
+        )
+        result = parallel.run(seeded_dirty.stream(), timeout=RUN_TIMEOUT)
+        assert result.items_failed > 0
+        assert registry.value("er_dead_letters_total", stage="dr") == result.items_failed

@@ -1,0 +1,125 @@
+"""Exporter golden tests: Prometheus text format and JSON snapshots."""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+
+import pytest
+
+from repro.observability import (
+    MetricsRegistry,
+    SnapshotFileSink,
+    to_json,
+    to_prometheus,
+    write_json_snapshot,
+)
+
+
+def small_registry() -> MetricsRegistry:
+    registry = MetricsRegistry()
+    registry.counter("er_items_total", stage="dr").inc(3)
+    registry.counter("er_items_total", stage="co").inc(5)
+    registry.gauge("er_queue_depth", stage="co").set(2)
+    h = registry.histogram("er_latency_seconds", buckets=(0.1, 1.0))
+    h.observe(0.05)
+    h.observe(0.5)
+    h.observe(5.0)
+    return registry
+
+
+GOLDEN_PROMETHEUS = """\
+# TYPE er_items_total counter
+er_items_total{stage="co"} 5
+er_items_total{stage="dr"} 3
+# TYPE er_latency_seconds histogram
+er_latency_seconds_bucket{le="0.1"} 1
+er_latency_seconds_bucket{le="1"} 2
+er_latency_seconds_bucket{le="+Inf"} 3
+er_latency_seconds_sum 5.55
+er_latency_seconds_count 3
+# TYPE er_queue_depth gauge
+er_queue_depth{stage="co"} 2
+"""
+
+
+class TestPrometheusExport:
+    def test_golden(self):
+        assert to_prometheus(small_registry()) == GOLDEN_PROMETHEUS
+
+    def test_empty_registry(self):
+        assert to_prometheus(MetricsRegistry()) == ""
+        assert to_prometheus(MetricsRegistry(enabled=False)) == ""
+
+    def test_type_line_once_per_family(self):
+        text = to_prometheus(small_registry())
+        assert text.count("# TYPE er_items_total counter") == 1
+
+    def test_well_formed_lines(self):
+        # Every non-comment line is "<name>{labels} <number>"; the
+        # CI smoke check relies on this shape.
+        for line in to_prometheus(small_registry()).splitlines():
+            if line.startswith("#"):
+                continue
+            name_part, value = line.rsplit(" ", 1)
+            assert name_part
+            float(value.replace("+Inf", "inf"))
+
+    def test_label_escaping(self):
+        registry = MetricsRegistry()
+        registry.counter("x_total", stage='we"ird\\name').inc()
+        text = to_prometheus(registry)
+        assert 'stage="we\\"ird\\\\name"' in text
+
+
+class TestJsonExport:
+    def test_structure(self):
+        snapshot = to_json(small_registry())
+        assert {c["name"] for c in snapshot["counters"]} == {"er_items_total"}
+        assert snapshot["gauges"] == [
+            {"name": "er_queue_depth", "labels": {"stage": "co"}, "value": 2.0}
+        ]
+        (hist,) = snapshot["histograms"]
+        assert hist["count"] == 3
+        assert hist["sum"] == pytest.approx(5.55)
+        assert hist["buckets"][-1] == {"le": "+Inf", "count": 3}
+
+    def test_json_roundtrip(self):
+        snapshot = to_json(small_registry())
+        assert json.loads(json.dumps(snapshot)) == snapshot
+
+    def test_write_json_snapshot(self, tmp_path):
+        path = write_json_snapshot(small_registry(), tmp_path / "metrics.json")
+        loaded = json.loads(path.read_text(encoding="utf-8"))
+        assert loaded == to_json(small_registry())
+
+
+@dataclass
+class _FakeSnapshot:
+    entities: int
+    rate: float
+
+
+class TestSnapshotFileSink:
+    def test_appends_jsonl(self, tmp_path):
+        sink = SnapshotFileSink(tmp_path / "snapshots.jsonl")
+        sink(_FakeSnapshot(entities=10, rate=5.0))
+        sink({"entities": 20})
+        lines = (tmp_path / "snapshots.jsonl").read_text().splitlines()
+        assert sink.written == 2
+        assert json.loads(lines[0]) == {"entities": 10, "rate": 5.0}
+        assert json.loads(lines[1]) == {"entities": 20}
+
+    def test_accepts_to_dict_objects(self, tmp_path):
+        class WithToDict:
+            def to_dict(self):
+                return {"a": 1}
+
+        sink = SnapshotFileSink(tmp_path / "s.jsonl")
+        sink(WithToDict())
+        assert json.loads((tmp_path / "s.jsonl").read_text()) == {"a": 1}
+
+    def test_rejects_unknown_types(self, tmp_path):
+        sink = SnapshotFileSink(tmp_path / "s.jsonl")
+        with pytest.raises(TypeError):
+            sink(object())

@@ -1,0 +1,174 @@
+"""Tests for the metrics registry and its instruments."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.observability import (
+    DEFAULT_TIME_BUCKETS,
+    NULL_REGISTRY,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+
+
+class TestCounter:
+    def test_starts_at_zero_and_accumulates(self):
+        registry = MetricsRegistry()
+        c = registry.counter("x_total")
+        assert c.value == 0.0
+        c.inc()
+        c.inc(3)
+        assert c.value == 4.0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ConfigurationError):
+            MetricsRegistry().counter("x_total").inc(-1)
+
+    def test_same_identity_same_object(self):
+        registry = MetricsRegistry()
+        a = registry.counter("x_total", stage="dr")
+        b = registry.counter("x_total", stage="dr")
+        other = registry.counter("x_total", stage="co")
+        assert a is b
+        assert a is not other
+
+    def test_label_order_irrelevant(self):
+        registry = MetricsRegistry()
+        a = registry.counter("x_total", a="1", b="2")
+        b = registry.counter("x_total", b="2", a="1")
+        assert a is b
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        g = MetricsRegistry().gauge("depth")
+        g.set(5)
+        g.inc()
+        g.dec(2)
+        assert g.value == 4.0
+
+
+class TestHistogram:
+    def test_bucket_boundaries_are_inclusive(self):
+        # Prometheus "le" semantics: a value exactly on a bound lands in
+        # that bucket, not the next one.
+        h = MetricsRegistry().histogram("t_seconds", buckets=(1.0, 2.0, 4.0))
+        for v in (0.5, 1.0, 1.5, 2.0, 3.0, 4.0, 100.0):
+            h.observe(v)
+        cumulative = dict(h.bucket_counts())
+        assert cumulative[1.0] == 2  # 0.5, 1.0
+        assert cumulative[2.0] == 4  # + 1.5, 2.0
+        assert cumulative[4.0] == 6  # + 3.0, 4.0
+        assert cumulative[float("inf")] == 7  # + 100.0
+        assert h.count == 7
+        assert h.sum == pytest.approx(112.0)
+
+    def test_cumulative_counts_monotone(self):
+        h = MetricsRegistry().histogram("t_seconds")
+        for v in (1e-6, 1e-4, 1e-2, 1.0, 100.0):
+            h.observe(v)
+        counts = [c for _, c in h.bucket_counts()]
+        assert counts == sorted(counts)
+        assert counts[-1] == 5
+        assert len(counts) == len(DEFAULT_TIME_BUCKETS) + 1
+
+    def test_quantile_estimate(self):
+        h = MetricsRegistry().histogram("t_seconds", buckets=(1.0, 2.0, 4.0))
+        for _ in range(90):
+            h.observe(0.5)
+        for _ in range(10):
+            h.observe(3.0)
+        assert h.quantile(0.5) == 1.0
+        assert h.quantile(0.99) == 4.0
+
+    def test_rejects_bad_bounds(self):
+        with pytest.raises(ConfigurationError):
+            MetricsRegistry().histogram("t_seconds", buckets=())
+        with pytest.raises(ConfigurationError):
+            MetricsRegistry().histogram("t_seconds", buckets=(2.0, 1.0))
+
+
+class TestRegistry:
+    def test_kind_conflict_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("x_total")
+        with pytest.raises(ConfigurationError):
+            registry.gauge("x_total")
+
+    def test_names_and_value(self):
+        registry = MetricsRegistry()
+        registry.counter("a_total", stage="dr").inc(2)
+        registry.gauge("b_depth").set(7)
+        assert registry.names() == {"a_total", "b_depth"}
+        assert registry.value("a_total", stage="dr") == 2.0
+        assert registry.value("missing") == 0.0
+
+    def test_collect_sorted_and_stable(self):
+        registry = MetricsRegistry()
+        registry.counter("z_total")
+        registry.counter("a_total", stage="co")
+        registry.counter("a_total", stage="bb+bp")
+        names = [(m.name, m.labels) for m in registry.collect()]
+        assert names == sorted(names)
+
+    def test_disabled_registry_hands_out_null_instruments(self):
+        registry = MetricsRegistry(enabled=False)
+        c = registry.counter("x_total")
+        c.inc(100)
+        assert c.value == 0.0
+        assert registry.names() == set()
+        assert list(registry.collect()) == []
+        # All instrument kinds share the same do-nothing singleton.
+        assert registry.gauge("g") is c
+        assert registry.histogram("h") is c
+
+    def test_null_registry_is_disabled(self):
+        assert NULL_REGISTRY.enabled is False
+
+    def test_instrument_types(self):
+        registry = MetricsRegistry()
+        assert isinstance(registry.counter("c_total"), Counter)
+        assert isinstance(registry.gauge("g"), Gauge)
+        assert isinstance(registry.histogram("h_seconds"), Histogram)
+
+
+class TestThreadSafety:
+    def test_concurrent_increments_lose_nothing(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("x_total")
+        histogram = registry.histogram("t_seconds", buckets=(0.5, 1.0))
+        n_threads, per_thread = 8, 5000
+
+        def work():
+            for _ in range(per_thread):
+                counter.inc()
+                histogram.observe(0.25)
+
+        threads = [threading.Thread(target=work) for _ in range(n_threads)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert counter.value == n_threads * per_thread
+        assert histogram.count == n_threads * per_thread
+        assert histogram.bucket_counts()[0][1] == n_threads * per_thread
+
+    def test_concurrent_creation_is_idempotent(self):
+        registry = MetricsRegistry()
+        seen: list[object] = []
+
+        def create():
+            seen.append(registry.counter("x_total", stage="co"))
+
+        threads = [threading.Thread(target=create) for _ in range(16)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert all(obj is seen[0] for obj in seen)

@@ -1,0 +1,110 @@
+"""Tests for span-style entity tracing."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.observability import EntityTrace, Tracer
+
+
+class TestStageSpan:
+    def test_wait_and_service(self):
+        trace = EntityTrace(seq=0, created_at=0.0)
+        trace.record_enqueue("co", at=1.0)
+        trace.record_start("co", at=1.5)
+        trace.record_finish("co", at=2.5)
+        span = trace.spans["co"]
+        assert span.wait_seconds == pytest.approx(0.5)
+        assert span.service_seconds == pytest.approx(1.0)
+
+    def test_start_without_enqueue_means_no_wait(self):
+        # Sequential executor: no queues, enqueue == start.
+        trace = EntityTrace(seq=0)
+        trace.record_start("dr", at=3.0)
+        span = trace.spans["dr"]
+        assert span.enqueued_at == 3.0
+        assert span.wait_seconds == 0.0
+
+    def test_partial_span_is_zero(self):
+        trace = EntityTrace(seq=0)
+        trace.record_enqueue("co", at=1.0)
+        span = trace.spans["co"]
+        assert span.wait_seconds == 0.0
+        assert span.service_seconds == 0.0
+
+
+class TestEntityTrace:
+    def trace_with_two_stages(self) -> EntityTrace:
+        trace = EntityTrace(seq=4, eid=7, created_at=0.0)
+        trace.record_start("dr", at=0.0)
+        trace.record_finish("dr", at=0.1)
+        trace.record_enqueue("co", at=0.1)
+        trace.record_start("co", at=0.4)
+        trace.record_finish("co", at=1.0)
+        trace.complete(at=1.0)
+        return trace
+
+    def test_total_latency(self):
+        assert self.trace_with_two_stages().total_latency == pytest.approx(1.0)
+
+    def test_breakdown_and_dominant_stage(self):
+        trace = self.trace_with_two_stages()
+        parts = trace.breakdown()
+        assert parts["dr"] == pytest.approx(0.1)
+        assert parts["co"] == pytest.approx(0.9)  # 0.3 wait + 0.6 service
+        assert trace.dominant_stage() == "co"
+
+    def test_incomplete_trace_has_zero_latency(self):
+        trace = EntityTrace(seq=0, created_at=5.0)
+        assert trace.total_latency == 0.0
+
+    def test_dead_letter_marker(self):
+        trace = EntityTrace(seq=0)
+        trace.dead_letter("cg")
+        assert trace.dead_lettered_at == "cg"
+
+    def test_to_dict_is_jsonable(self):
+        import json
+
+        payload = self.trace_with_two_stages().to_dict()
+        text = json.dumps(payload)
+        assert '"seq": 4' in text
+        assert payload["stages"][0]["stage"] == "dr"
+
+    def test_to_dict_tuple_eid(self):
+        trace = EntityTrace(seq=0, eid=("a", 3))
+        assert trace.to_dict()["eid"] == ["a", 3]
+
+
+class TestTracer:
+    def test_samples_every_nth(self):
+        tracer = Tracer(every=3)
+        traced = [seq for seq in range(9) if tracer.start(seq) is not None]
+        assert traced == [0, 3, 6]
+
+    def test_capacity_evicts_oldest(self):
+        tracer = Tracer(every=1, capacity=3)
+        for seq in range(5):
+            tracer.start(seq)
+        retained = [t.seq for t in tracer.traces()]
+        assert retained == [2, 3, 4]
+        assert tracer.get(0) is None
+        assert tracer.get(4) is not None
+
+    def test_slowest_orders_completed_traces(self):
+        tracer = Tracer()
+        fast = tracer.start(0, at=0.0)
+        slow = tracer.start(1, at=0.0)
+        unfinished = tracer.start(2, at=0.0)
+        assert unfinished is not None
+        fast.complete(at=0.1)
+        slow.complete(at=2.0)
+        slowest = tracer.slowest(2)
+        assert [t.seq for t in slowest] == [1, 0]
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            Tracer(every=0)
+        with pytest.raises(ConfigurationError):
+            Tracer(capacity=0)

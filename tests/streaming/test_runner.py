@@ -91,3 +91,28 @@ class TestStreamRunReport:
             source_rate=1.0, entities=0, latency=None, throughput=[]  # type: ignore[arg-type]
         )
         assert report.stable_throughput == 0.0
+
+    def test_stable_throughput_from_completions(self):
+        # 11 completions 0.1 s apart: interquartile span (indices 2..8)
+        # is 0.6 s for 6 completions → 10/s.
+        completions = [i * 0.1 for i in range(11)]
+        report = StreamRunReport(
+            source_rate=10.0,
+            entities=11,
+            latency=None,  # type: ignore[arg-type]
+            completions=completions,
+        )
+        assert report.stable_throughput == pytest.approx(10.0)
+
+    def test_identical_completion_times_fall_back_to_windowed_series(self):
+        # Regression: >= 8 completions sharing one timestamp (coarse
+        # clock / batch drain) used to short-circuit to 0.0 even though a
+        # perfectly good windowed series was available.
+        report = StreamRunReport(
+            source_rate=10.0,
+            entities=10,
+            latency=None,  # type: ignore[arg-type]
+            throughput=[(1, 2.0), (2, 9.0), (3, 10.0), (4, 11.0), (5, 3.0)],
+            completions=[5.0] * 10,
+        )
+        assert report.stable_throughput == pytest.approx(10.5)

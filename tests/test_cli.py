@@ -141,3 +141,56 @@ class TestRoundTrip:
         )
         assert code == 0
         assert records  # cora-like data is duplicate-heavy
+
+
+class TestMetrics:
+    def run_text(self, argv) -> tuple[int, str]:
+        out = io.StringIO()
+        code = main(argv, out=out)
+        return code, out.getvalue()
+
+    def test_prometheus_export(self, catalog_csv):
+        code, text = self.run_text(
+            ["metrics", str(catalog_csv), "--threshold", "0.6"]
+        )
+        assert code == 0
+        assert "# TYPE er_entities_total counter" in text
+        assert "er_entities_total 4" in text
+        assert 'er_stage_service_seconds_bucket{stage="dr",le="+Inf"}' in text
+        for line in text.splitlines():
+            if line.startswith("#"):
+                continue
+            name_part, value = line.rsplit(" ", 1)
+            assert name_part
+            float(value)
+
+    def test_json_export(self, catalog_csv):
+        code, text = self.run_text(
+            ["metrics", str(catalog_csv), "--format", "json"]
+        )
+        assert code == 0
+        snapshot = json.loads(text)
+        counters = {
+            (c["name"], c["labels"].get("stage")): c["value"]
+            for c in snapshot["counters"]
+        }
+        assert counters[("er_entities_total", None)] == 4.0
+        assert snapshot["histograms"]
+
+    def test_thread_executor(self, catalog_csv):
+        code, text = self.run_text(
+            ["metrics", str(catalog_csv), "--executor", "thread",
+             "--threshold", "0.6"]
+        )
+        assert code == 0
+        assert "er_queue_depth" in text
+        assert "er_entities_total 4" in text
+
+    def test_out_file(self, catalog_csv, tmp_path):
+        target = tmp_path / "metrics.prom"
+        code, text = self.run_text(
+            ["metrics", str(catalog_csv), "--out", str(target)]
+        )
+        assert code == 0
+        assert text == ""
+        assert "er_entities_total" in target.read_text(encoding="utf-8")
