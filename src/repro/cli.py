@@ -10,6 +10,10 @@ Subcommands
 ``metrics``   Run a file through a chosen executor with the metrics
               registry enabled and print the Prometheus text exposition
               (or a JSON snapshot) of the run.
+``check``     Run the correctness oracle suite — metamorphic relations
+              plus runtime invariants — for a seed; non-zero exit on any
+              violation, with the shrunk minimal counterexample and a
+              replay command printed.
 
 Examples
 --------
@@ -17,6 +21,8 @@ Examples
     repro-er link shop_a.csv shop_b.jsonl --alpha-fraction 0.05
     repro-er generate cora --scale 0.5 --out cora.jsonl
     repro-er metrics products.csv --executor thread --format prometheus
+    repro-er check --seed 2021 --examples 10
+    repro-er check --seed 2021 --property incremental-equals-batch
 """
 
 from __future__ import annotations
@@ -196,6 +202,56 @@ def cmd_metrics(args: argparse.Namespace, out) -> int:
     return 0
 
 
+def cmd_check(args: argparse.Namespace, out) -> int:
+    from repro.proptest import (
+        relation_names,
+        replay_command,
+        run_suite,
+        self_test_relation,
+    )
+
+    if args.list:
+        for name in relation_names():
+            out.write(name + "\n")
+        return 0
+    extra = []
+    names = list(args.property) if args.property else None
+    if args.self_test_failure and (names is None or "self-test-failure" not in names):
+        names = (names or []) + ["self-test-failure"]
+    if names and "self-test-failure" in names:
+        # A printed replay command names the relation directly; keep it
+        # resolvable without also passing --self-test-failure.
+        extra.append(self_test_relation())
+    try:
+        report = run_suite(
+            seed=args.seed,
+            examples=args.examples,
+            names=names,
+            extra_relations=extra,
+            shrink_budget=args.shrink_budget,
+        )
+    except KeyError as exc:
+        print(f"error: {exc.args[0]}", file=sys.stderr)
+        return 2
+    for prop in report.reports:
+        status = "ok" if prop.ok else "FAIL"
+        print(f"{prop.name}: {status} ({prop.examples} examples)", file=sys.stderr)
+    failures = report.failures()
+    if not failures:
+        print(f"all {len(report.reports)} properties held (seed {args.seed})",
+              file=sys.stderr)
+        return 0
+    for failure in failures:
+        out.write(failure.describe() + "\n")
+        out.write(
+            "replay: "
+            + replay_command(failure.property, failure.seed, args.examples)
+            + "\n"
+        )
+    print(f"{len(failures)} propert(y/ies) falsified", file=sys.stderr)
+    return 1
+
+
 def cmd_generate(args: argparse.Namespace, out) -> int:
     dataset = load(args.dataset, scale=args.scale)
     target = Path(args.out) if args.out else None
@@ -266,6 +322,24 @@ def build_parser() -> argparse.ArgumentParser:
     metrics.add_argument("--out", help="write the export here (default stdout)")
     add_pipeline_options(metrics)
     metrics.set_defaults(func=cmd_metrics)
+
+    check = sub.add_parser(
+        "check", help="run the metamorphic + invariant oracle suite"
+    )
+    check.add_argument("--seed", type=int, default=2021,
+                       help="suite seed; a failure replays bit-identically")
+    check.add_argument("--examples", type=int, default=6,
+                       help="examples per property (heavy ones run half)")
+    check.add_argument("--property", action="append", metavar="NAME",
+                       help="run only this relation (repeatable)")
+    check.add_argument("--shrink-budget", type=int, default=200,
+                       help="max predicate evaluations while shrinking")
+    check.add_argument("--list", action="store_true",
+                       help="list relation names and exit")
+    check.add_argument("--self-test-failure", action="store_true",
+                       help="include the intentionally failing relation "
+                            "(verifies the failure path end to end)")
+    check.set_defaults(func=cmd_check)
 
     generate = sub.add_parser("generate", help="emit a synthetic dataset")
     generate.add_argument("dataset", choices=DATASET_NAMES)

@@ -19,6 +19,7 @@ from repro.core.config import StreamERConfig
 from repro.core.plan import PipelinePlan
 from repro.core.state import ERState
 from repro.errors import ConfigurationError
+from repro.invariants.checker import InvariantChecker
 from repro.observability.instrument import DEAD_LETTERS, ENTITIES, ENTITY_LATENCY_SECONDS
 from repro.observability.registry import NULL_REGISTRY, MetricsRegistry
 from repro.observability.trace import Tracer
@@ -121,6 +122,11 @@ class StreamERPipeline:
         An optional :class:`~repro.observability.Tracer`; sampled
         entities get a span-style per-stage
         :class:`~repro.observability.EntityTrace`.
+    checker:
+        An optional :class:`~repro.invariants.InvariantChecker`; when
+        enabled, stage outputs are verified per message and the
+        state-scope invariants run every ``checker.state_every`` entities.
+        Defaults to ``None`` — no wrapping, zero overhead.
 
     The optional-stage attributes (``bg``, ``cc``) are ``None`` when the
     plan dropped those nodes (block/comparison cleaning disabled).
@@ -134,6 +140,7 @@ class StreamERPipeline:
         plan: PipelinePlan | None = None,
         registry: MetricsRegistry | None = None,
         tracer: Tracer | None = None,
+        checker: InvariantChecker | None = None,
     ) -> None:
         self.plan = plan if plan is not None else PipelinePlan.from_config(config)
         self.config = self.plan.config
@@ -141,7 +148,14 @@ class StreamERPipeline:
         self.timings = StageTimings()
         self.registry = registry if registry is not None else NULL_REGISTRY
         self.tracer = tracer
-        self.compiled = self.plan.compile(backend, registry=self.registry)
+        self.checker = checker if (checker is not None and checker.enabled) else None
+        if self.checker is not None:
+            self.checker.exempt_provider = lambda: {
+                d.entity_id for d in self.dead_letters
+            }
+        self.compiled = self.plan.compile(
+            backend, registry=self.registry, checker=self.checker
+        )
         self.backend = self.compiled.backend
         self._entities_metric = self.registry.counter(ENTITIES)
         self._latency_metric = self.registry.histogram(ENTITY_LATENCY_SECONDS)
@@ -203,6 +217,8 @@ class StreamERPipeline:
             self._latency_metric.observe(time.perf_counter() - entity_start)
         if trace is not None:
             trace.complete()
+        if self.checker is not None:
+            self.checker.after_entity()
         return out  # type: ignore[return-value]
 
     def process_many(

@@ -53,6 +53,7 @@ from repro.core.stages import (
     LoadManagementStage,
 )
 from repro.errors import ConfigurationError
+from repro.invariants.checker import CheckedStage, InvariantChecker
 from repro.observability.instrument import InstrumentedStage, declare_pipeline_metrics
 from repro.observability.registry import NULL_REGISTRY, MetricsRegistry
 
@@ -194,17 +195,22 @@ class PipelinePlan:
         self,
         backend: StateBackend | None = None,
         registry: MetricsRegistry | None = None,
+        checker: InvariantChecker | None = None,
     ) -> "CompiledPipeline":
         """Instantiate every active stage against one state backend.
 
         With an enabled ``registry``, every stage is wrapped in an
         :class:`~repro.observability.instrument.InstrumentedStage` so all
         executors compiling this plan emit the shared metric vocabulary.
+        With an enabled ``checker``, stages are additionally wrapped in a
+        :class:`~repro.invariants.checker.CheckedStage` so every output
+        message is verified against the registered stage invariants.
         """
         return CompiledPipeline(
             self,
             backend if backend is not None else InMemoryBackend(),
             registry=registry,
+            checker=checker,
         )
 
 
@@ -229,10 +235,12 @@ class CompiledPipeline:
         plan: PipelinePlan,
         backend: StateBackend,
         registry: MetricsRegistry | None = None,
+        checker: InvariantChecker | None = None,
     ) -> None:
         self.plan = plan
         self.backend = backend
         self.registry = registry if registry is not None else NULL_REGISTRY
+        self.checker = checker if (checker is not None and checker.enabled) else None
         self._stages: dict[str, Callable] = {
             spec.name: spec.factory(plan.config, backend) for spec in plan.specs
         }
@@ -240,6 +248,15 @@ class CompiledPipeline:
             declare_pipeline_metrics(self.registry, self.plan.stage_names())
             self._stages = {
                 name: InstrumentedStage(name, stage, self.registry)
+                for name, stage in self._stages.items()
+            }
+        if self.checker is not None:
+            # Checking wraps *outside* instrumentation, so a violation's
+            # stage timing is still recorded and attribute delegation
+            # chains through both wrappers.
+            self.checker.bind(plan.config, backend, self.registry)
+            self._stages = {
+                name: CheckedStage(name, stage, self.checker)
                 for name, stage in self._stages.items()
             }
 

@@ -35,3 +35,19 @@ class InjectedFault(ReproError):
 
 class DatasetError(ReproError):
     """A dataset definition or generator received inconsistent arguments."""
+
+
+class InvariantViolation(ReproError):
+    """A runtime invariant over pipeline state or stage output was violated.
+
+    Raised (or recorded, in deferred mode) by
+    :class:`repro.invariants.InvariantChecker`.  ``invariant`` names the
+    violated invariant in the central registry; ``detail`` says what was
+    observed.  Seeing this outside an invariant-checked run means state
+    drifted in a way the O(1) counters and store contracts forbid.
+    """
+
+    def __init__(self, invariant: str, detail: str) -> None:
+        super().__init__(f"invariant {invariant!r} violated: {detail}")
+        self.invariant = invariant
+        self.detail = detail

@@ -51,6 +51,7 @@ from repro.core.backends import StateBackend
 from repro.core.config import StreamERConfig, SupervisionPolicy
 from repro.core.plan import PipelinePlan
 from repro.errors import PipelineStoppedError
+from repro.invariants.checker import InvariantChecker
 from repro.observability.instrument import (
     ENTITIES,
     ENTITY_LATENCY_SECONDS,
@@ -136,6 +137,11 @@ class _ReorderBuffer:
                 return ready
             ready.append(item)
             self._next += 1
+
+    def pending_count(self) -> int:
+        """Buffered arrivals plus undrained holes (0 after a clean drain)."""
+        with self._lock:
+            return len(self._pending) + len(self._holes)
 
 
 @dataclass
@@ -344,6 +350,12 @@ class ParallelERPipeline:
         Optional :class:`~repro.observability.Tracer`; sampled entities
         carry an :class:`~repro.observability.EntityTrace` recording
         per-stage enqueue/start/finish timestamps across the worker pools.
+    checker:
+        Optional :class:`~repro.invariants.InvariantChecker`.  Stage-scope
+        invariants run inside the workers (recording only — a raise inside
+        a supervised worker would become a dead letter); state- and
+        run-scope invariants run in :meth:`run` after all workers join,
+        where a raise-mode checker then raises.
     """
 
     def __init__(
@@ -360,17 +372,28 @@ class ParallelERPipeline:
         plan: PipelinePlan | None = None,
         registry: MetricsRegistry | None = None,
         tracer: Tracer | None = None,
+        checker: InvariantChecker | None = None,
     ) -> None:
         self.plan = plan if plan is not None else PipelinePlan.from_config(config)
         self.config = self.plan.config
         self.registry = registry if registry is not None else NULL_REGISTRY
         self.tracer = tracer
         self.supervisor = Supervisor(supervision, registry=self.registry)
+        self.checker = checker if (checker is not None and checker.enabled) else None
+        if self.checker is not None:
+            # Stage checks run on worker threads; a raise there would be
+            # swallowed into the dead-letter queue by supervision.
+            self.checker.concurrent = True
+            self.checker.exempt_provider = lambda: {
+                d.entity_id for d in self.supervisor.dead_letters
+            }
         names = self.plan.stage_names()
         self.allocation = allocate_processes(
             stage_seconds or paper_example_times(), processes, stages=names
         )
-        self.compiled = self.plan.compile(backend, registry=self.registry)
+        self.compiled = self.plan.compile(
+            backend, registry=self.registry, checker=self.checker
+        )
         self.backend = self.compiled.backend
         self._cl_lock = threading.Lock()
         profiles = self.backend.profiles
@@ -585,7 +608,7 @@ class ParallelERPipeline:
         self.close(timeout=timeout)
         self.join(timeout=timeout)
         elapsed = time.perf_counter() - start
-        return ParallelRunResult(
+        result = ParallelRunResult(
             entities_processed=self._entities_in,
             matches=list(self._matches),
             elapsed_seconds=elapsed,
@@ -594,3 +617,12 @@ class ParallelERPipeline:
             retries=self.supervisor.retries_performed,
             dead_letters=list(self.supervisor.dead_letters),
         )
+        if self.checker is not None:
+            # Workers have joined: stores are quiescent, and the ENTITIES
+            # metric counted completions (entities in minus dead letters).
+            self.checker.finalize(
+                result,
+                expected_entities=self._entities_in - result.items_failed,
+                sequencer=self._sequencer,
+            )
+        return result

@@ -69,6 +69,7 @@ from repro.core.pipeline import ERResult
 from repro.core.plan import PipelinePlan
 from repro.core.stages import ScoredComparisons
 from repro.errors import ConfigurationError
+from repro.invariants.checker import InvariantChecker
 from repro.observability.instrument import (
     COMPARISONS_EXECUTED,
     ENTITIES,
@@ -246,6 +247,11 @@ class MultiprocessERPipeline:
         get per-stage spans for the parent-side front (the pooled ``co``
         stage scores pairs in entity-mixed chunks, so it has no per-entity
         span here).
+    checker:
+        Optional :class:`~repro.invariants.InvariantChecker`.  The front
+        stages run in the pool's task-handler thread, so stage-scope checks
+        record only; state- and run-scope invariants run at the end of
+        :meth:`run`, where a raise-mode checker raises.
 
     After a run, ``pairs_prefiltered`` counts the comparisons the parent
     dropped by the length prefilter (never dispatched) and
@@ -263,6 +269,7 @@ class MultiprocessERPipeline:
         plan: PipelinePlan | None = None,
         registry: MetricsRegistry | None = None,
         tracer: Tracer | None = None,
+        checker: InvariantChecker | None = None,
     ) -> None:
         if workers < 1:
             raise ConfigurationError("workers must be >= 1")
@@ -275,7 +282,17 @@ class MultiprocessERPipeline:
         self.registry = registry if registry is not None else NULL_REGISTRY
         self.tracer = tracer
         self.supervisor = Supervisor(supervision, registry=self.registry)
-        self.compiled = self.plan.compile(backend, registry=self.registry)
+        self.checker = checker if (checker is not None and checker.enabled) else None
+        if self.checker is not None:
+            # The front runs in the pool's task-handler thread; a raise
+            # there would poison imap instead of surfacing cleanly.
+            self.checker.concurrent = True
+            self.checker.exempt_provider = lambda: {
+                d.entity_id for d in self.supervisor.dead_letters
+            }
+        self.compiled = self.plan.compile(
+            backend, registry=self.registry, checker=self.checker
+        )
         self.backend = self.compiled.backend
         self.entities_processed = 0
         self._trace_seq = 0
@@ -507,7 +524,7 @@ class MultiprocessERPipeline:
                 if ok:
                     matches.extend(found)
 
-        return ERResult(
+        result = ERResult(
             entities_processed=count_in[0],
             matches=matches,
             comparisons_generated=self.cg.generated,
@@ -519,6 +536,10 @@ class MultiprocessERPipeline:
             retries=self.supervisor.retries_performed,
             dead_letters=list(self.supervisor.dead_letters),
         )
+        if self.checker is not None:
+            # ENTITIES counted admissions here, so expected == count_in.
+            self.checker.finalize(result, expected_entities=count_in[0])
+        return result
 
     def _rescore(self, comparison: Comparison, first_error: str) -> float | None:
         """Retry a worker-failed pair in the parent; dead-letter on exhaust.

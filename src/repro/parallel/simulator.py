@@ -38,6 +38,7 @@ from typing import Sequence
 
 from repro.core.plan import STAGE_ORDER, PipelinePlan
 from repro.errors import ConfigurationError
+from repro.invariants.checker import InvariantChecker
 from repro.observability.instrument import (
     DEAD_LETTERS,
     ENTITIES,
@@ -265,6 +266,10 @@ class PipelineSimulator:
     *simulated* seconds.  The comparison/match counters the real stages
     produce stay zero-valued here: the simulator moves abstract items, not
     comparisons.
+
+    With an enabled invariant ``checker``, every run is verified against
+    the simulation-scope invariants (item conservation, non-negative
+    times) before its result is returned.
     """
 
     def __init__(
@@ -274,6 +279,7 @@ class PipelineSimulator:
         config: SimulatorConfig | None = None,
         plan: PipelinePlan | None = None,
         registry: MetricsRegistry | None = None,
+        checker: InvariantChecker | None = None,
     ) -> None:
         self.plan = plan
         self.stage_names: tuple[str, ...] = (
@@ -286,6 +292,7 @@ class PipelineSimulator:
         self.service = service
         self.config = config or SimulatorConfig()
         self.registry = registry if registry is not None else NULL_REGISTRY
+        self.checker = checker if (checker is not None and checker.enabled) else None
         if self.registry.enabled:
             declare_pipeline_metrics(self.registry, self.stage_names)
 
@@ -484,7 +491,7 @@ class PipelineSimulator:
         ]
         completions = [completion[i] for i in range(n) if completion[i] >= 0]
         makespan = (max(completions) - min(arrival_times)) if completions else 0.0
-        return SimulationResult(
+        result = SimulationResult(
             makespan=makespan,
             completion_times=completions,
             latencies=latencies,
@@ -498,6 +505,11 @@ class PipelineSimulator:
             items_failed=len(dead_letters),
             dead_letters=dead_letters,
         )
+        if self.checker is not None:
+            self.checker.check_simulation(result, n_items=n)
+            if self.checker.mode == "raise":
+                self.checker.raise_if_violated()
+        return result
 
     # Convenience runners -------------------------------------------------
 

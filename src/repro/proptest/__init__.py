@@ -1,0 +1,84 @@
+"""Seeded property-based testing for the ER pipeline, dependency-free.
+
+The paper's functional model ``f_er = f_cl ∘ f_co ∘ ... ∘ f_dr`` implies
+algebraic guarantees — incremental application over any increment
+partitioning equals batch application, executors agree on the match set,
+α/β pruning is monotone in the comparison counts — that example-based
+tests can only spot-check.  This package provides the three pieces needed
+to check them systematically:
+
+* :mod:`repro.proptest.generators` — composable, seeded generators for
+  entity streams, perturbated duplicates, increment splits and pipeline
+  configurations (reusing :mod:`repro.datasets.perturbations`);
+* :mod:`repro.proptest.runner` — a deterministic property runner with
+  failure **shrinking** and one-line replay commands;
+* :mod:`repro.proptest.relations` — the library of metamorphic relations
+  from the paper, assembled into the oracle suite behind
+  ``repro-er check``.
+
+Everything is deterministic in a single integer seed: a failure printed in
+CI replays bit-identically on a laptop via the printed command.  See
+``docs/correctness.md``.
+"""
+
+from repro.proptest.generators import (
+    Gen,
+    booleans,
+    choice,
+    clean_clean_streams,
+    dirty_streams,
+    er_cases,
+    floats,
+    increment_cuts,
+    integers,
+    lists,
+    paperlike_streams,
+)
+from repro.proptest.relations import (
+    METAMORPHIC_RELATIONS,
+    Relation,
+    relation_names,
+    run_suite,
+    self_test_relation,
+)
+from repro.proptest.runner import (
+    CheckFailed,
+    Failure,
+    Property,
+    PropertyReport,
+    SuiteReport,
+    example_rng,
+    replay_command,
+    run_property,
+)
+from repro.proptest.shrinking import ERCase, clip_cuts, shrink_case
+
+__all__ = [
+    "Gen",
+    "integers",
+    "floats",
+    "booleans",
+    "choice",
+    "lists",
+    "dirty_streams",
+    "clean_clean_streams",
+    "paperlike_streams",
+    "increment_cuts",
+    "er_cases",
+    "ERCase",
+    "shrink_case",
+    "clip_cuts",
+    "Property",
+    "PropertyReport",
+    "SuiteReport",
+    "Failure",
+    "CheckFailed",
+    "run_property",
+    "replay_command",
+    "example_rng",
+    "Relation",
+    "METAMORPHIC_RELATIONS",
+    "relation_names",
+    "run_suite",
+    "self_test_relation",
+]

@@ -1,0 +1,183 @@
+"""The property runner: deterministic examples, shrinking, replay commands.
+
+A :class:`Property` couples a generator with a checking function that
+raises on violation.  :func:`run_property` draws ``examples`` cases, each
+from its own ``random.Random(f"{seed}:{name}:{index}")`` — the per-example
+stream depends only on the three values printed in a failure report, so a
+CI failure replays bit-identically anywhere with the printed
+:func:`replay_command`.  On failure the case is handed to
+:func:`~repro.proptest.shrinking.shrink_case` (when it is an
+:class:`~repro.proptest.shrinking.ERCase`) and the report carries both the
+original and the minimal counterexample.
+"""
+
+from __future__ import annotations
+
+import random
+import traceback
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.proptest.generators import Gen
+from repro.proptest.shrinking import ERCase, shrink_case
+
+__all__ = [
+    "CheckFailed",
+    "Property",
+    "Failure",
+    "PropertyReport",
+    "SuiteReport",
+    "run_property",
+    "replay_command",
+]
+
+
+class CheckFailed(AssertionError):
+    """A property's check found a violation (vs. crashing incidentally)."""
+
+
+@dataclass(frozen=True)
+class Property:
+    """A named property: draw a case with ``gen``, verify it with ``check``.
+
+    ``check`` takes the generated case and raises (:class:`CheckFailed` for
+    a clean violation, anything else for a crash — both count as failures)
+    or returns ``None`` on success.
+    """
+
+    name: str
+    gen: Gen
+    check: Callable[[Any], None]
+
+    def holds_on(self, case: Any) -> bool:
+        """True when ``check`` passes on ``case`` (no exception escapes)."""
+        try:
+            self.check(case)
+        except Exception:
+            return False
+        return True
+
+
+@dataclass(frozen=True)
+class Failure:
+    """One falsified property: the raw case, the shrunk case, the errors."""
+
+    property: str
+    seed: int
+    index: int
+    error: str
+    case: Any
+    shrunk: Any | None = None
+    shrunk_error: str | None = None
+
+    def minimal(self) -> Any:
+        """The smallest known counterexample (shrunk if available)."""
+        return self.shrunk if self.shrunk is not None else self.case
+
+    def describe(self) -> str:
+        case = self.minimal()
+        rendered = case.describe() if isinstance(case, ERCase) else repr(case)
+        error = self.shrunk_error if self.shrunk_error is not None else self.error
+        return (
+            f"property {self.property!r} falsified "
+            f"(seed={self.seed}, example #{self.index})\n"
+            f"{error}\n"
+            f"minimal counterexample:\n{rendered}"
+        )
+
+
+@dataclass(frozen=True)
+class PropertyReport:
+    """Outcome of running one property for a full example budget."""
+
+    name: str
+    seed: int
+    examples: int
+    failure: Failure | None = None
+
+    @property
+    def ok(self) -> bool:
+        return self.failure is None
+
+
+@dataclass
+class SuiteReport:
+    """Outcomes across a whole suite of properties, one seed."""
+
+    seed: int
+    reports: list[PropertyReport] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return all(r.ok for r in self.reports)
+
+    def failures(self) -> list[Failure]:
+        return [r.failure for r in self.reports if r.failure is not None]
+
+
+def example_rng(seed: int, name: str, index: int) -> random.Random:
+    """The rng for one example — a pure function of (seed, property, index)."""
+    return random.Random(f"{seed}:{name}:{index}")
+
+
+def replay_command(name: str, seed: int, examples: int) -> str:
+    """The CLI line reproducing a failure of ``name`` bit-identically."""
+    return f"repro-er check --seed {seed} --examples {examples} --property {name}"
+
+
+def _error_line(exc: BaseException) -> str:
+    if isinstance(exc, CheckFailed):
+        return f"CheckFailed: {exc}"
+    last = traceback.format_exception_only(type(exc), exc)[-1].strip()
+    frames = traceback.extract_tb(exc.__traceback__)
+    where = f" (at {frames[-1].filename}:{frames[-1].lineno})" if frames else ""
+    return f"{last}{where}"
+
+
+def run_property(
+    prop: Property,
+    seed: int,
+    examples: int = 10,
+    shrink_budget: int = 300,
+) -> PropertyReport:
+    """Run ``prop`` on ``examples`` seeded cases, shrinking the first failure.
+
+    Stops at the first falsifying example: the report's :class:`Failure`
+    carries the raw case, the shrunk minimal case (for :class:`ERCase`
+    inputs), and both error messages.  ``shrink_budget`` caps how many
+    times the check may be re-evaluated during shrinking.
+    """
+    for index in range(examples):
+        case = prop.gen.sample(example_rng(seed, prop.name, index))
+        try:
+            prop.check(case)
+        except Exception as exc:
+            failure = Failure(
+                property=prop.name,
+                seed=seed,
+                index=index,
+                error=_error_line(exc),
+                case=case,
+            )
+            if isinstance(case, ERCase) and shrink_budget > 0:
+                shrunk = shrink_case(
+                    case, lambda c: not prop.holds_on(c), max_checks=shrink_budget
+                )
+                shrunk_error = failure.error
+                try:
+                    prop.check(shrunk)
+                except Exception as shrunk_exc:
+                    shrunk_error = _error_line(shrunk_exc)
+                failure = Failure(
+                    property=prop.name,
+                    seed=seed,
+                    index=index,
+                    error=failure.error,
+                    case=case,
+                    shrunk=shrunk,
+                    shrunk_error=shrunk_error,
+                )
+            return PropertyReport(
+                name=prop.name, seed=seed, examples=examples, failure=failure
+            )
+    return PropertyReport(name=prop.name, seed=seed, examples=examples)

@@ -1,0 +1,218 @@
+"""Failing-case minimization: the smallest stream + split that still fails.
+
+A raw counterexample drawn by the runner is typically a 20-entity stream
+with a handful of increments and several active knobs; most of it is
+noise.  :func:`shrink_case` greedily minimizes an :class:`ERCase` against
+the property's own failure predicate: delta-debugging-style chunk removal
+over the entity stream, dropping increment cuts, flattening attributes,
+and neutralizing config knobs — accepting a candidate only when the
+property *still fails* on it.  The result is the minimal case printed in a
+failure report (and the case a regression test should pin).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Callable, Sequence
+
+from repro.classification.classifiers import ThresholdClassifier
+from repro.core.config import StreamERConfig
+from repro.types import EntityDescription
+
+__all__ = ["ERCase", "shrink_case", "clip_cuts"]
+
+
+def clip_cuts(cuts: Sequence[int], n: int) -> tuple[int, ...]:
+    """Cuts re-validated for a stream of length ``n``: interior, sorted, unique."""
+    return tuple(sorted({c for c in cuts if 0 < c < n}))
+
+
+@dataclass(frozen=True)
+class ERCase:
+    """One self-contained test case: an entity stream plus the pipeline knobs.
+
+    Everything a metamorphic relation needs to run the pipeline is here, so
+    a case survives shrinking, pickling into a failure report, and being
+    pasted into a regression test verbatim.  ``cuts`` are the interior
+    split points of the increment partitioning (``()`` = one batch);
+    ``salt`` seeds any *extra* randomness a relation wants (e.g. which
+    permutation to compare against) without coupling it to case identity.
+    """
+
+    entities: tuple[EntityDescription, ...]
+    alpha: int = 1000
+    beta: float = 0.3
+    threshold: float = 0.3
+    clean_clean: bool = False
+    block_cleaning: bool = True
+    comparison_cleaning: bool = True
+    cuts: tuple[int, ...] = ()
+    salt: int = 0
+
+    def config(self, interned: bool = False, **overrides: object) -> StreamERConfig:
+        """The :class:`StreamERConfig` this case describes."""
+        kwargs: dict[str, object] = dict(
+            alpha=self.alpha,
+            beta=self.beta,
+            enable_block_cleaning=self.block_cleaning,
+            enable_comparison_cleaning=self.comparison_cleaning,
+            clean_clean=self.clean_clean,
+            classifier=ThresholdClassifier(self.threshold),
+        )
+        kwargs.update(overrides)
+        if interned:
+            return StreamERConfig.interned(**kwargs)  # type: ignore[arg-type]
+        return StreamERConfig(**kwargs)  # type: ignore[arg-type]
+
+    def increments(self) -> list[list[EntityDescription]]:
+        """The stream split at ``cuts`` (always covers every entity)."""
+        bounds = [0, *clip_cuts(self.cuts, len(self.entities)), len(self.entities)]
+        return [
+            list(self.entities[lo:hi])
+            for lo, hi in zip(bounds, bounds[1:])
+            if hi > lo
+        ]
+
+    def describe(self) -> str:
+        """A readable rendering for failure reports and regression tests."""
+        lines = [
+            f"ERCase: {len(self.entities)} entities, "
+            f"alpha={self.alpha} beta={self.beta} threshold={self.threshold}",
+            f"  clean_clean={self.clean_clean} "
+            f"block_cleaning={self.block_cleaning} "
+            f"comparison_cleaning={self.comparison_cleaning} "
+            f"cuts={self.cuts} salt={self.salt}",
+        ]
+        for e in self.entities:
+            lines.append(f"  {e.eid!r}: {dict(e.attributes)!r}")
+        return "\n".join(lines)
+
+    def complexity(self) -> tuple[int, int, int, int]:
+        """Shrink ordering key — strictly decreases along a shrink chain."""
+        return (
+            len(self.entities),
+            sum(len(e.attributes) for e in self.entities),
+            len(self.cuts),
+            int(self.block_cleaning) + int(self.comparison_cleaning),
+        )
+
+
+@dataclass
+class _Budget:
+    """Caps the number of predicate evaluations a shrink may spend."""
+
+    remaining: int
+    spent: int = field(default=0)
+
+    def take(self) -> bool:
+        if self.remaining <= 0:
+            return False
+        self.remaining -= 1
+        self.spent += 1
+        return True
+
+
+def _with_entities(case: ERCase, entities: Sequence[EntityDescription]) -> ERCase:
+    entities = tuple(entities)
+    return replace(case, entities=entities, cuts=clip_cuts(case.cuts, len(entities)))
+
+
+def _shrink_entities(
+    case: ERCase, fails: Callable[[ERCase], bool], budget: _Budget
+) -> ERCase:
+    """ddmin-style chunk removal: halves first, then ever smaller chunks."""
+    chunk = max(1, len(case.entities) // 2)
+    while chunk >= 1:
+        index = 0
+        progressed = False
+        while index < len(case.entities):
+            if not budget.take():
+                return case
+            candidate = _with_entities(
+                case, case.entities[:index] + case.entities[index + chunk :]
+            )
+            if len(candidate.entities) < len(case.entities) and fails(candidate):
+                case = candidate
+                progressed = True
+            else:
+                index += chunk
+        if chunk == 1 and not progressed:
+            break
+        chunk = chunk // 2 if chunk > 1 else (1 if progressed else 0)
+    return case
+
+
+def _shrink_cuts(case: ERCase, fails: Callable[[ERCase], bool], budget: _Budget) -> ERCase:
+    if case.cuts and budget.take():
+        candidate = replace(case, cuts=())
+        if fails(candidate):
+            return candidate
+    for cut in list(case.cuts):
+        if not budget.take():
+            return case
+        candidate = replace(case, cuts=tuple(c for c in case.cuts if c != cut))
+        if fails(candidate):
+            case = candidate
+    return case
+
+
+def _shrink_attributes(
+    case: ERCase, fails: Callable[[ERCase], bool], budget: _Budget
+) -> ERCase:
+    """Flatten descriptions: keep only each entity's first attribute."""
+    for i, entity in enumerate(case.entities):
+        if len(entity.attributes) <= 1:
+            continue
+        if not budget.take():
+            return case
+        slim = EntityDescription(
+            eid=entity.eid, attributes=entity.attributes[:1], source=entity.source
+        )
+        candidate = _with_entities(
+            case, case.entities[:i] + (slim,) + case.entities[i + 1 :]
+        )
+        if fails(candidate):
+            case = candidate
+    return case
+
+
+def _shrink_knobs(case: ERCase, fails: Callable[[ERCase], bool], budget: _Budget) -> ERCase:
+    """Neutralize config knobs one at a time (fewer active mechanisms)."""
+    for candidate_fn in (
+        lambda c: replace(c, block_cleaning=False),
+        lambda c: replace(c, comparison_cleaning=False),
+        lambda c: replace(c, alpha=1000),
+        lambda c: replace(c, salt=0),
+    ):
+        candidate = candidate_fn(case)
+        if candidate == case:
+            continue
+        if not budget.take():
+            return case
+        if fails(candidate):
+            case = candidate
+    return case
+
+
+def shrink_case(
+    case: ERCase,
+    fails: Callable[[ERCase], bool],
+    max_checks: int = 300,
+) -> ERCase:
+    """Greedily minimize ``case`` while ``fails`` keeps returning True.
+
+    ``fails`` must be the property's failure predicate (True = still a
+    counterexample) and must never raise — the runner wraps the property so
+    an exception counts as a failure.  At most ``max_checks`` predicate
+    evaluations are spent; the best case found so far is returned when the
+    budget runs out, so shrinking is always safe to call.
+    """
+    budget = _Budget(remaining=max_checks)
+    while True:
+        before = case.complexity()
+        case = _shrink_entities(case, fails, budget)
+        case = _shrink_cuts(case, fails, budget)
+        case = _shrink_attributes(case, fails, budget)
+        case = _shrink_knobs(case, fails, budget)
+        if case.complexity() >= before or budget.remaining <= 0:
+            return case

@@ -6,9 +6,11 @@ from repro.streaming.runner import (
     StreamRunReport,
 )
 from repro.streaming.source import RateLimitedSource, arrival_schedule
+from repro.streaming.updates import UpdateAwareERPipeline
 from repro.streaming.windowing import EvictionStats, SlidingWindowERPipeline
 
 __all__ = [
+    "UpdateAwareERPipeline",
     "RateLimitedSource",
     "arrival_schedule",
     "LiveStreamRunner",

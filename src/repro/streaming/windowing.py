@@ -58,7 +58,7 @@ class SlidingWindowERPipeline:
         """Identifiers currently inside the window, oldest first."""
         return list(self._order)
 
-    def _evict(self, eid: EntityId) -> None:
+    def _retire(self, eid: EntityId) -> None:
         # discard() keeps the collection's O(1) size counters in sync and
         # drops blocks that become empty; mutating block lists in place
         # would silently corrupt them.
@@ -68,10 +68,21 @@ class SlidingWindowERPipeline:
                 self.stats.removed_assignments += 1
         # Profile-map entry: drop so memory stays bounded.
         self.pipeline.lm.profiles.remove(eid)
+
+    def _evict(self, eid: EntityId) -> None:
+        self._retire(eid)
         self.stats.evicted_entities += 1
 
     def process(self, entity: EntityDescription) -> list[Match]:
         """Process one entity, then expire anything beyond the window."""
+        if entity.eid in self._keys_of:
+            # Re-arrival while still in the window: retire the old version
+            # first (stale block memberships and the old profile), and give
+            # the identifier a fresh window slot.  Leaving the old order
+            # entry in place would later evict the *live* entity's profile
+            # and blocks while its second slot still references them.
+            self._retire(entity.eid)
+            self._order.remove(entity.eid)
         matches = self.pipeline.process(entity)
         profile = self.pipeline.lm.profiles.get(entity.eid)
         # Record which blocks the entity actually joined (blacklisted or

@@ -35,6 +35,7 @@ from repro.observability import (
     MetricsRegistry,
     Tracer,
 )
+from repro.invariants import InvariantChecker
 from repro.parallel import FaultSpec, MultiprocessERPipeline, ParallelERPipeline
 
 RUN_TIMEOUT = 120.0
@@ -332,6 +333,110 @@ class TestRetriesPreserveEquivalence:
         assert result.items_failed == 0
         assert result.retries > 0
         assert result.match_pairs == expected
+
+
+class TestInvariantCheckedEquivalence:
+    """Runtime invariant checking enabled on every executor: no violation
+    fires on healthy runs, and the match sets do not move by one pair."""
+
+    def test_sequential_checked(self, seeded_dirty):
+        expected = sequential_pairs(seeded_dirty)
+        checker = InvariantChecker(mode="raise", state_every=25)
+        pipeline = StreamERPipeline(
+            config_for(seeded_dirty), instrument=False, checker=checker
+        )
+        pipeline.process_many(seeded_dirty.stream())
+        checker.finalize(
+            pipeline.summary(), expected_entities=pipeline.entities_processed
+        )
+        assert pipeline.cl.matches.pairs() == expected
+        assert not checker.violations
+        assert checker.checks_performed > 0
+
+    @pytest.mark.parametrize("micro_batch_size", [1, 25])
+    def test_thread_framework_checked(self, seeded_dirty, micro_batch_size):
+        expected = sequential_pairs(seeded_dirty)
+        checker = InvariantChecker(mode="raise")
+        parallel = ParallelERPipeline(
+            config_for(seeded_dirty),
+            processes=8,
+            micro_batch_size=micro_batch_size,
+            checker=checker,
+        )
+        result = parallel.run(seeded_dirty.stream(), timeout=RUN_TIMEOUT)
+        assert result.match_pairs == expected
+        assert result.items_failed == 0
+        assert not checker.violations
+        assert checker.checks_performed > 0
+
+    def test_thread_framework_checked_clean_clean(self, seeded_clean):
+        expected = sequential_pairs(seeded_clean)
+        checker = InvariantChecker(mode="raise")
+        parallel = ParallelERPipeline(
+            config_for(seeded_clean), processes=12, checker=checker
+        )
+        result = parallel.run(seeded_clean.stream(), timeout=RUN_TIMEOUT)
+        assert result.match_pairs == expected
+        assert not checker.violations
+
+    def test_multiprocess_framework_checked(self, seeded_dirty):
+        expected = sequential_pairs(seeded_dirty)
+        checker = InvariantChecker(mode="raise")
+        mp = MultiprocessERPipeline(
+            config_for(seeded_dirty), workers=2, chunk_size=64, checker=checker
+        )
+        result = mp.run(seeded_dirty.stream())
+        assert result.match_pairs == expected
+        assert result.items_failed == 0
+        assert not checker.violations
+        assert checker.checks_performed > 0
+
+    def test_simulator_checked(self):
+        from repro.parallel import PipelineSimulator, ServiceModel
+
+        checker = InvariantChecker(mode="raise")
+        service = ServiceModel(
+            mean_seconds={s: 1e-4 for s in STAGE_ORDER},
+            cv=0.0,
+            spike_probability=0.0,
+        )
+        simulator = PipelineSimulator(
+            {s: 2 for s in STAGE_ORDER}, service, checker=checker
+        )
+        result = simulator.run_batch(50)
+        assert result.admitted == 50
+        assert not checker.violations
+        assert checker.checks_performed > 0
+
+    def test_checked_run_with_dead_letters_uses_exemptions(self, seeded_dirty):
+        """Dead-lettered entities may leave partial state behind; the
+        checker exempts exactly them and still validates everything else."""
+        checker = InvariantChecker(mode="raise")
+        parallel = ParallelERPipeline(
+            config_for(seeded_dirty),
+            processes=8,
+            micro_batch_size=25,
+            supervision=SupervisionPolicy.none(),
+            faults={"co": FaultSpec(probability=0.3, seed=17)},
+            checker=checker,
+        )
+        result = parallel.run(seeded_dirty.stream(), timeout=RUN_TIMEOUT)
+        assert result.items_failed > 0
+        assert not checker.violations
+
+    def test_sharded_backend_checked(self, seeded_dirty):
+        expected = sequential_pairs(seeded_dirty)
+        checker = InvariantChecker(mode="raise")
+        parallel = ParallelERPipeline(
+            config_for(seeded_dirty),
+            processes=8,
+            micro_batch_size=25,
+            backend=ShardedBackend(4),
+            checker=checker,
+        )
+        result = parallel.run(seeded_dirty.stream(), timeout=RUN_TIMEOUT)
+        assert result.match_pairs == expected
+        assert not checker.violations
 
 
 class TestObservabilityAcrossExecutors:

@@ -1,52 +1,50 @@
-"""Property-based fuzz: the thread framework agrees with SEQ on any input."""
+"""Property-based fuzz: the thread framework agrees with SEQ on any input.
+
+Runs on the in-repo proptest engine (seeded, shrinking, replayable) — the
+generated :class:`~repro.proptest.ERCase` carries the stream and the α/β/
+threshold knobs, and the salt picks the parallelism degree, so a failure
+report pins every varying input of the differential run.
+"""
 
 from __future__ import annotations
 
-from hypothesis import given, settings
-from hypothesis import strategies as st
+import pytest
 
-from repro.classification import ThresholdClassifier
-from repro.core import StreamERConfig, StreamERPipeline
+from repro.core import StreamERPipeline
 from repro.parallel import ParallelERPipeline
-from repro.types import EntityDescription
+from repro.proptest import ERCase, Property, er_cases, run_property
 
-tokens = st.sampled_from(
-    ["glass", "panel", "wood", "fibre", "roof", "window", "door", "steel",
-     "lamp", "chair"]
-)
-values = st.lists(tokens, min_size=1, max_size=5).map(" ".join)
-attributes = st.dictionaries(
-    st.sampled_from(["title", "material", "part"]), values, min_size=1, max_size=3
-)
+RUN_TIMEOUT = 120.0
+SEED = 2021
 
 
-@st.composite
-def entity_batches(draw):
-    n = draw(st.integers(min_value=0, max_value=25))
-    return [EntityDescription.create(i, draw(attributes)) for i in range(n)]
+def check_parallel_matches_sequential(case: ERCase) -> None:
+    sequential = StreamERPipeline(case.config(), instrument=False)
+    sequential.process_many(list(case.entities))
 
-
-@given(
-    entities=entity_batches(),
-    alpha=st.sampled_from([3, 8, 1000]),
-    beta=st.sampled_from([0.1, 0.6]),
-    processes=st.sampled_from([8, 12]),
-    batch=st.sampled_from([1, 7]),
-)
-@settings(max_examples=20, deadline=None)
-def test_parallel_framework_matches_sequential(entities, alpha, beta, processes, batch):
-    def config():
-        return StreamERConfig(
-            alpha=alpha, beta=beta, classifier=ThresholdClassifier(0.4)
-        )
-
-    sequential = StreamERPipeline(config(), instrument=False)
-    sequential.process_many(entities)
-
+    salt = case.salt
     parallel = ParallelERPipeline(
-        config(), processes=processes, micro_batch_size=batch
+        case.config(),
+        processes=(8, 12)[salt % 2],
+        micro_batch_size=(1, 7)[(salt >> 1) % 2],
     )
-    result = parallel.run(entities)
+    result = parallel.run(list(case.entities), timeout=RUN_TIMEOUT)
 
+    assert result.items_failed == 0, f"{result.items_failed} dead letters"
     assert result.match_pairs == sequential.cl.matches.pairs()
-    assert result.entities_processed == len(entities)
+    assert result.entities_processed == len(case.entities)
+
+
+def test_parallel_framework_matches_sequential():
+    report = run_property(
+        Property(
+            "parallel-framework-matches-sequential",
+            er_cases(alphas=(3, 8, 1000), betas=(0.1, 0.6), thresholds=(0.4,)),
+            check_parallel_matches_sequential,
+        ),
+        seed=SEED,
+        examples=20,
+        shrink_budget=150,
+    )
+    if report.failure is not None:
+        pytest.fail(report.failure.describe())

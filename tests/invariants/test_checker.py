@@ -1,0 +1,252 @@
+"""The invariant checker: registry, enforcement modes, executor wiring."""
+
+from __future__ import annotations
+
+from types import SimpleNamespace
+
+import pytest
+
+from repro.classification import ThresholdClassifier
+from repro.core import StreamERConfig, StreamERPipeline
+from repro.errors import ConfigurationError, InvariantViolation
+from repro.invariants import (
+    CheckedStage,
+    InvariantChecker,
+    StateView,
+    get_invariant,
+    invariant_names,
+    invariants_for,
+)
+from repro.types import EntityDescription, Match, Profile
+
+
+def small_config(**overrides) -> StreamERConfig:
+    kwargs = dict(alpha=1000, beta=0.3, classifier=ThresholdClassifier(0.3))
+    kwargs.update(overrides)
+    return StreamERConfig(**kwargs)
+
+
+def small_stream(n: int = 8) -> list[EntityDescription]:
+    vocab = ["glass", "panel", "wood", "roof", "steel"]
+    return [
+        EntityDescription.create(
+            i, {"title": f"{vocab[i % len(vocab)]} {vocab[(i + 1) % len(vocab)]}"}
+        )
+        for i in range(n)
+    ]
+
+
+class TestRegistry:
+    def test_every_scope_is_populated(self):
+        scopes = {get_invariant(name).scope for name in invariant_names()}
+        assert scopes == {"state", "stage", "run", "simulation"}
+
+    def test_expected_invariants_registered(self):
+        names = set(invariant_names())
+        assert {
+            "block-counters-consistent",
+            "block-sizes-bounded",
+            "blacklist-excludes-blocks",
+            "dictionary-bijective",
+            "blocked-entities-have-profiles",
+            "match-store-consistent",
+            "cg-no-self-pairs",
+            "cl-no-self-matches",
+            "run-failure-accounting",
+            "sim-item-conservation",
+        } <= names
+
+    def test_stage_scope_filtering(self):
+        assert invariants_for("stage", "cg")
+        assert not invariants_for("stage", "no-such-stage")
+        assert all(inv.scope == "state" for inv in invariants_for("state"))
+
+    def test_descriptions_present(self):
+        for name in invariant_names():
+            assert get_invariant(name).description
+
+
+class TestCheckerConstruction:
+    def test_rejects_unknown_mode(self):
+        with pytest.raises(ConfigurationError):
+            InvariantChecker(mode="audit")
+
+    def test_rejects_nonpositive_state_every(self):
+        with pytest.raises(ConfigurationError):
+            InvariantChecker(state_every=0)
+
+    def test_unbound_checker_is_inert(self):
+        checker = InvariantChecker()
+        checker.check_state()
+        checker.check_result(object())
+        assert checker.checks_performed == 0
+
+
+class TestSequentialEnforcement:
+    def test_clean_run_has_no_violations(self):
+        checker = InvariantChecker(mode="raise", state_every=2)
+        pipeline = StreamERPipeline(small_config(), checker=checker)
+        pipeline.process_many(small_stream())
+        checker.finalize(
+            pipeline.summary(), expected_entities=pipeline.entities_processed
+        )
+        assert not checker.violations
+        assert checker.checks_performed > 0
+
+    def test_corrupted_counter_raises(self):
+        checker = InvariantChecker(mode="raise")
+        pipeline = StreamERPipeline(small_config(), checker=checker)
+        pipeline.process_many(small_stream())
+        # Simulate counter drift: bump a size without touching the block.
+        blocks = pipeline.backend.blocks
+        key = next(iter(blocks.keys()))
+        blocks._sizes[key] += 1
+        with pytest.raises(InvariantViolation) as excinfo:
+            checker.check_state()
+        assert excinfo.value.invariant == "block-counters-consistent"
+
+    def test_stale_block_membership_raises(self):
+        checker = InvariantChecker(mode="raise")
+        pipeline = StreamERPipeline(small_config(), checker=checker)
+        pipeline.process_many(small_stream())
+        # The pre-fix windowing corruption pattern: a blocked identifier
+        # whose profile has been dropped.
+        pipeline.backend.blocks.add("glass", 999)
+        with pytest.raises(InvariantViolation) as excinfo:
+            checker.check_state()
+        assert excinfo.value.invariant == "blocked-entities-have-profiles"
+        assert "999" in excinfo.value.detail
+
+    def test_dead_lettered_entities_are_exempt(self):
+        checker = InvariantChecker(mode="raise")
+        pipeline = StreamERPipeline(small_config(), checker=checker)
+        pipeline.process_many(small_stream())
+        pipeline.backend.blocks.add("glass", 999)
+        checker.exempt_provider = lambda: {999}
+        checker.check_state()
+        assert not checker.violations
+
+    def test_record_mode_accumulates_without_raising(self):
+        checker = InvariantChecker(mode="record")
+        pipeline = StreamERPipeline(small_config(), checker=checker)
+        pipeline.process_many(small_stream())
+        blocks = pipeline.backend.blocks
+        blocks.add("glass", 999)  # stale membership: no profile for 999
+        blocks._sizes[next(iter(blocks.keys()))] += 1  # counter drift
+        checker.check_state()
+        assert {v.invariant for v in checker.violations} >= {
+            "blocked-entities-have-profiles",
+            "block-counters-consistent",
+        }
+        assert "invariant violation" in checker.report()
+        with pytest.raises(InvariantViolation):
+            checker.raise_if_violated()
+
+    def test_oversized_block_violates_alpha_bound(self):
+        checker = InvariantChecker(mode="record")
+        config = small_config(alpha=3, enable_block_cleaning=True)
+        pipeline = StreamERPipeline(config, checker=checker)
+        pipeline.process_many(small_stream(4))
+        for eid in range(100, 105):
+            pipeline.backend.profiles.put(
+                Profile(eid=eid, attributes=(), tokens=frozenset({"glass"}))
+            )
+            pipeline.backend.blocks.add("glass", eid)
+        checker.check_state()
+        assert any(
+            v.invariant == "block-sizes-bounded" for v in checker.violations
+        )
+
+
+class TestStageEnforcement:
+    def test_self_match_in_cl_output_detected(self):
+        checker = InvariantChecker(mode="record")
+        checker.bind(small_config(), backend=object())
+        checker.observe_stage("cl", [Match(left=1, right=1, similarity=1.0)])
+        assert [v.invariant for v in checker.violations] == ["cl-no-self-matches"]
+        assert checker.violations[0].stage == "cl"
+
+    def test_stage_without_invariants_checks_nothing(self):
+        checker = InvariantChecker(mode="raise")
+        checker.bind(small_config(), backend=object())
+        checker.observe_stage("no-such-stage", object())
+        assert checker.checks_performed == 0
+
+
+class TestCompilation:
+    def test_enabled_checker_wraps_stages(self):
+        checker = InvariantChecker(mode="record")
+        pipeline = StreamERPipeline(small_config(), checker=checker)
+        assert isinstance(pipeline.cg, CheckedStage)
+        pipeline.process_many(small_stream(4))
+        # Attribute delegation chains through the wrapper.
+        assert pipeline.cg.generated >= 0
+
+    def test_disabled_checker_leaves_stages_unwrapped(self):
+        checker = InvariantChecker(enabled=False)
+        pipeline = StreamERPipeline(small_config(), checker=checker)
+        assert pipeline.checker is None
+        assert not isinstance(pipeline.cg, CheckedStage)
+
+    def test_no_checker_by_default(self):
+        pipeline = StreamERPipeline(small_config())
+        assert pipeline.checker is None
+        assert not isinstance(pipeline.cg, CheckedStage)
+
+    def test_checked_run_produces_identical_matches(self):
+        entities = small_stream(12)
+        plain = StreamERPipeline(small_config())
+        plain.process_many(entities)
+        checked = StreamERPipeline(
+            small_config(), checker=InvariantChecker(mode="raise", state_every=3)
+        )
+        checked.process_many(entities)
+        assert checked.cl.matches.pairs() == plain.cl.matches.pairs()
+
+
+class TestConcurrentDeferral:
+    def test_raise_is_deferred_to_finalize(self):
+        checker = InvariantChecker(mode="raise", concurrent=True)
+        checker.bind(small_config(), backend=object())
+        # Inside a worker a raise would be swallowed into the dead-letter
+        # queue; concurrent mode records instead...
+        checker.observe_stage("cl", [Match(left=2, right=2, similarity=1.0)])
+        assert checker.violations
+        # ...and finalize (called after workers join) re-raises it.
+        with pytest.raises(InvariantViolation) as excinfo:
+            checker.raise_if_violated()
+        assert excinfo.value.invariant == "cl-no-self-matches"
+
+
+class TestSimulationScope:
+    def test_item_conservation_violation(self):
+        checker = InvariantChecker(mode="record")
+        result = SimpleNamespace(
+            admitted=5,
+            items_failed=0,
+            completion_times=[1.0] * 5,
+            latencies=[0.1] * 5,
+            stage_busy_seconds={"dr": 1.0},
+            makespan=2.0,
+        )
+        checker.check_simulation(result, n_items=6)
+        assert [v.invariant for v in checker.violations] == ["sim-item-conservation"]
+
+    def test_consistent_simulation_passes(self):
+        checker = InvariantChecker(mode="raise")
+        result = SimpleNamespace(
+            admitted=6,
+            items_failed=0,
+            completion_times=[1.0] * 6,
+            latencies=[0.1] * 6,
+            stage_busy_seconds={"dr": 1.0},
+            makespan=2.0,
+        )
+        checker.check_simulation(result, n_items=6)
+        assert not checker.violations
+
+
+class TestStateViewExemptions:
+    def test_exempt_set_reaches_the_view(self):
+        view = StateView(config=None, backend=None, exempt=frozenset({1}))
+        assert 1 in view.exempt

@@ -1,0 +1,212 @@
+"""The proptest engine: generators, deterministic runner, shrinking."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.proptest import (
+    CheckFailed,
+    ERCase,
+    Property,
+    booleans,
+    choice,
+    clip_cuts,
+    dirty_streams,
+    er_cases,
+    example_rng,
+    increment_cuts,
+    integers,
+    lists,
+    replay_command,
+    run_property,
+    shrink_case,
+)
+
+
+class TestGenerators:
+    def test_integers_stay_in_bounds(self):
+        gen = integers(3, 7)
+        rng = example_rng(1, "bounds", 0)
+        assert all(3 <= gen.sample(rng) <= 7 for _ in range(200))
+
+    def test_map_and_bind_compose(self):
+        gen = integers(1, 3).map(lambda n: n * 10).bind(
+            lambda n: choice([n, n + 1])
+        )
+        rng = example_rng(1, "compose", 0)
+        assert all(gen.sample(rng) in {10, 11, 20, 21, 30, 31} for _ in range(50))
+
+    def test_lists_respect_size_bounds(self):
+        gen = lists(booleans(), min_size=2, max_size=5)
+        rng = example_rng(1, "lists", 0)
+        assert all(2 <= len(gen.sample(rng)) <= 5 for _ in range(50))
+
+    def test_sampling_is_deterministic_in_the_rng(self):
+        gen = dirty_streams()
+        a = gen.sample(example_rng(42, "det", 3))
+        b = gen.sample(example_rng(42, "det", 3))
+        assert a == b
+        c = gen.sample(example_rng(42, "det", 4))
+        assert a != c  # different example index, different stream
+
+    def test_increment_cuts_are_interior_and_sorted(self):
+        gen = increment_cuts(10)
+        rng = example_rng(7, "cuts", 0)
+        for _ in range(100):
+            cuts = gen.sample(rng)
+            assert list(cuts) == sorted(set(cuts))
+            assert all(0 < c < 10 for c in cuts)
+
+    def test_er_cases_draw_valid_knobs(self):
+        gen = er_cases()
+        rng = example_rng(5, "cases", 0)
+        for _ in range(20):
+            case = gen.sample(rng)
+            assert case.alpha in (3, 5, 8, 1000)
+            assert case.beta in (0.1, 0.3, 0.6)
+            assert case.threshold in (0.2, 0.35, 0.5)
+            assert not case.clean_clean
+
+    def test_clean_clean_cases_carry_sourced_ids(self):
+        gen = er_cases(clean_clean=True)
+        rng = example_rng(5, "cc-cases", 1)
+        case = next(
+            c for _ in range(50) if (c := gen.sample(rng)).entities
+        )
+        assert all(e.eid[0] in ("x", "y") for e in case.entities)
+        assert all(e.source == e.eid[0] for e in case.entities)
+
+
+class TestERCase:
+    def test_increments_cover_the_stream_in_order(self):
+        case = er_cases().sample(example_rng(11, "cover", 2))
+        flattened = [e for inc in case.increments() for e in inc]
+        assert tuple(flattened) == case.entities
+        assert all(inc for inc in case.increments())
+
+    def test_clip_cuts_sanitizes(self):
+        assert clip_cuts((5, 0, 3, 3, 9, 12), 10) == (3, 5, 9)
+        assert clip_cuts((4,), 3) == ()
+
+    def test_config_reflects_the_knobs(self):
+        case = ERCase(
+            entities=(), alpha=8, beta=0.1, threshold=0.5,
+            block_cleaning=False, comparison_cleaning=True,
+        )
+        config = case.config()
+        assert config.alpha == 8
+        assert config.beta == 0.1
+        assert not config.enable_block_cleaning
+        assert config.enable_comparison_cleaning
+        assert config.classifier.threshold == 0.5
+
+    def test_describe_renders_every_entity(self):
+        case = er_cases().sample(example_rng(11, "desc", 0))
+        text = case.describe()
+        for entity in case.entities:
+            assert repr(entity.eid) in text
+
+
+class TestRunner:
+    def test_passing_property_reports_ok(self):
+        prop = Property("always-true", integers(0, 9), lambda n: None)
+        report = run_property(prop, seed=1, examples=5)
+        assert report.ok
+        assert report.examples == 5
+        assert report.failure is None
+
+    def test_failure_is_deterministic(self):
+        def check(n: int) -> None:
+            if n >= 5:
+                raise CheckFailed(f"{n} too big")
+
+        prop = Property("no-big", integers(0, 9), check)
+        first = run_property(prop, seed=3, examples=30)
+        second = run_property(prop, seed=3, examples=30)
+        assert not first.ok
+        assert first.failure.index == second.failure.index
+        assert first.failure.case == second.failure.case
+
+    def test_crash_counts_as_failure_with_location(self):
+        def check(n: int) -> None:
+            raise ValueError("boom")
+
+        report = run_property(Property("crashy", integers(0, 1), check), seed=1)
+        assert not report.ok
+        assert "ValueError: boom" in report.failure.error
+        assert " (at " in report.failure.error  # crash carries its location
+
+    def test_check_failed_reads_clean(self):
+        def check(n: int) -> None:
+            raise CheckFailed("violated")
+
+        report = run_property(Property("clean", integers(0, 1), check), seed=1)
+        assert report.failure.error == "CheckFailed: violated"
+
+    def test_replay_command_format(self):
+        assert (
+            replay_command("alpha-monotone", 7, 12)
+            == "repro-er check --seed 7 --examples 12 --property alpha-monotone"
+        )
+
+
+class TestShrinking:
+    @staticmethod
+    def _at_least_three(case: ERCase) -> None:
+        if len(case.entities) >= 3:
+            raise CheckFailed(f"{len(case.entities)} entities")
+
+    def test_shrinks_to_the_minimal_counterexample(self):
+        prop = Property("small-streams", er_cases(), self._at_least_three)
+        report = run_property(prop, seed=2021, examples=10, shrink_budget=400)
+        assert not report.ok
+        shrunk = report.failure.minimal()
+        # Minimal for "has >= 3 entities": exactly 3 one-attribute
+        # entities, no cuts, every knob neutralized.
+        assert len(shrunk.entities) == 3
+        assert all(len(e.attributes) == 1 for e in shrunk.entities)
+        assert shrunk.cuts == ()
+        assert not shrunk.block_cleaning
+        assert not shrunk.comparison_cleaning
+        assert shrunk.alpha == 1000
+        assert shrunk.salt == 0
+
+    def test_shrinking_is_deterministic(self):
+        prop = Property("small-streams", er_cases(), self._at_least_three)
+        a = run_property(prop, seed=2021, examples=10, shrink_budget=400)
+        b = run_property(prop, seed=2021, examples=10, shrink_budget=400)
+        assert a.failure.minimal() == b.failure.minimal()
+
+    def test_zero_budget_skips_shrinking(self):
+        prop = Property("small-streams", er_cases(), self._at_least_three)
+        report = run_property(prop, seed=2021, examples=10, shrink_budget=0)
+        assert not report.ok
+        assert report.failure.shrunk is None
+        assert report.failure.minimal() == report.failure.case
+
+    def test_budget_caps_predicate_evaluations(self):
+        calls = 0
+
+        def fails(case: ERCase) -> bool:
+            nonlocal calls
+            calls += 1
+            return len(case.entities) >= 3
+
+        case = er_cases().sample(example_rng(2021, "budget", 0))
+        if len(case.entities) < 3:
+            pytest.skip("seed drew a case the predicate cannot fail on")
+        shrink_case(case, fails, max_checks=7)
+        assert calls <= 7
+
+    def test_shrunk_case_still_fails(self):
+        prop = Property("small-streams", er_cases(), self._at_least_three)
+        report = run_property(prop, seed=2021, examples=10, shrink_budget=400)
+        assert not prop.holds_on(report.failure.minimal())
+
+    def test_describe_carries_the_minimal_case_and_seed(self):
+        prop = Property("small-streams", er_cases(), self._at_least_three)
+        report = run_property(prop, seed=2021, examples=10, shrink_budget=400)
+        text = report.failure.describe()
+        assert "seed=2021" in text
+        assert "minimal counterexample" in text
+        assert "3 entities" in text

@@ -1,0 +1,198 @@
+"""Streaming edge cases as properties: empty increments, single-entity
+windows, duplicate re-arrival, and the windowing boundary."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core import StreamERPipeline
+from repro.invariants import InvariantChecker
+from repro.proptest import (
+    ERCase,
+    Property,
+    er_cases,
+    integers,
+    run_property,
+)
+from repro.streaming import SlidingWindowERPipeline, UpdateAwareERPipeline
+from repro.types import EntityDescription
+
+SEED = 2021
+
+
+def assert_holds(prop: Property, examples: int = 8) -> None:
+    report = run_property(prop, seed=SEED, examples=examples, shrink_budget=150)
+    if report.failure is not None:
+        pytest.fail(report.failure.describe())
+
+
+def state_ok(pipeline: StreamERPipeline) -> None:
+    checker = InvariantChecker(mode="raise")
+    checker.bind(pipeline.config, pipeline.backend)
+    checker.check_state()  # raises InvariantViolation on corruption
+
+
+def with_rearrivals(case: ERCase) -> ERCase:
+    """Append re-descriptions of a salt-chosen sample of the stream."""
+    if not case.entities:
+        return case
+    rng = random.Random(case.salt)
+    k = rng.randint(1, min(4, len(case.entities)))
+    extra = tuple(
+        EntityDescription(
+            eid=e.eid,
+            attributes=e.attributes + (("rev", f"v{i}"),),
+            source=e.source,
+        )
+        for i, e in enumerate(rng.sample(case.entities, k))
+    )
+    return ERCase(
+        entities=case.entities + extra,
+        alpha=case.alpha, beta=case.beta, threshold=case.threshold,
+        block_cleaning=case.block_cleaning,
+        comparison_cleaning=case.comparison_cleaning,
+        salt=case.salt,
+    )
+
+
+class TestEmptyIncrements:
+    def test_empty_increment_is_a_no_op_property(self):
+        def check(case: ERCase) -> None:
+            pipeline = StreamERPipeline(case.config())
+            for increment in case.increments():
+                pipeline.process_many([])
+                pipeline.process_many(increment)
+            result = pipeline.process_many([])
+            assert result.entities_processed == 0
+            assert result.matches == []
+            reference = StreamERPipeline(case.config())
+            reference.process_many(list(case.entities))
+            assert (
+                pipeline.summary().match_pairs
+                == reference.summary().match_pairs
+            )
+
+        assert_holds(Property("empty-increment-no-op", er_cases(), check))
+
+    def test_empty_stream_yields_empty_summary(self):
+        case = er_cases().sample(random.Random(0))
+        pipeline = StreamERPipeline(case.config())
+        summary = pipeline.summary()
+        assert summary.entities_processed == 0
+        assert summary.match_pairs == set()
+
+
+class TestSingleEntityWindow:
+    def test_window_one_never_corrupts_state_property(self):
+        def check(case: ERCase) -> None:
+            window = SlidingWindowERPipeline(case.config(), window=1)
+            for entity in case.entities:
+                window.process(entity)
+                assert len(window.current_window) <= 1
+            assert len(window.pipeline.lm.profiles) <= 1
+            state_ok(window.pipeline)
+
+        assert_holds(Property("window-one-bounded", er_cases(), check))
+
+    def test_window_must_be_positive(self):
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            SlidingWindowERPipeline(window=0)
+
+
+class TestWindowEquivalence:
+    def test_window_at_least_stream_length_equals_unbounded_property(self):
+        def check(case: ERCase) -> None:
+            window = SlidingWindowERPipeline(
+                case.config(), window=max(1, len(case.entities))
+            )
+            windowed = {m.key() for m in window.process_many(case.entities)}
+            reference = StreamERPipeline(case.config())
+            reference.process_many(list(case.entities))
+            assert windowed == reference.summary().match_pairs
+            assert window.stats.evicted_entities == 0
+
+        assert_holds(Property("window-covers-stream", er_cases(), check))
+
+
+class TestDuplicateReArrival:
+    def test_windowed_rearrival_keeps_state_sound_property(self):
+        def check(case: ERCase) -> None:
+            window = SlidingWindowERPipeline(case.config(), window=3)
+            window.process_many(case.entities)  # must not raise
+            assert len(window.current_window) <= 3
+            assert len(set(window.current_window)) == len(window.current_window)
+            state_ok(window.pipeline)
+
+        assert_holds(
+            Property(
+                "window-rearrival-sound",
+                er_cases().map(with_rearrivals),
+                check,
+            )
+        )
+
+    def test_update_pipeline_rearrival_keeps_state_sound_property(self):
+        def check(case: ERCase) -> None:
+            updating = UpdateAwareERPipeline(case.config())
+            updating.process_many(case.entities)
+            n_unique = len({e.eid for e in case.entities})
+            assert updating.updates_applied == len(case.entities) - n_unique
+            assert len(updating.pipeline.lm.profiles) <= n_unique
+            state_ok(updating.pipeline)
+
+        assert_holds(
+            Property(
+                "updates-rearrival-sound",
+                er_cases().map(with_rearrivals),
+                check,
+            )
+        )
+
+    def test_updated_entity_matches_on_its_new_description(self):
+        updating = UpdateAwareERPipeline()
+        updating.process(EntityDescription.create(1, {"t": "glass roof"}))
+        updating.process(EntityDescription.create(1, {"t": "steel frame"}))
+        assert updating.version_of(1) == 2
+        matches = updating.process(
+            EntityDescription.create(2, {"t": "steel frame"})
+        )
+        assert {m.key() for m in matches} == {(1, 2)}
+
+
+class TestWindowBoundary:
+    def test_eviction_starts_exactly_past_the_window(self):
+        def stream(n):
+            return [
+                EntityDescription.create(i, {"t": f"tok{i} shared"})
+                for i in range(n)
+            ]
+
+        for window_size in (1, 2, 5):
+            window = SlidingWindowERPipeline(window=window_size)
+            window.process_many(stream(window_size))
+            assert window.stats.evicted_entities == 0
+            assert window.current_window == list(range(window_size))
+            window.process(
+                EntityDescription.create(window_size, {"t": "tokX shared"})
+            )
+            assert window.stats.evicted_entities == 1
+            assert window.current_window == list(range(1, window_size + 1))
+
+    def test_boundary_eviction_count_property(self):
+        def check(pair) -> None:
+            case, window_size = pair
+            window = SlidingWindowERPipeline(case.config(), window=window_size)
+            window.process_many(case.entities)
+            n = len(case.entities)  # dirty streams carry unique ids
+            assert len(window.current_window) == min(n, window_size)
+            assert window.stats.evicted_entities == max(0, n - window_size)
+            state_ok(window.pipeline)
+
+        gen = er_cases().bind(
+            lambda case: integers(1, 6).map(lambda w: (case, w))
+        )
+        assert_holds(Property("window-boundary-eviction", gen, check))

@@ -194,3 +194,54 @@ class TestMetrics:
         assert code == 0
         assert text == ""
         assert "er_entities_total" in target.read_text(encoding="utf-8")
+
+
+class TestCheck:
+    """The ``check`` subcommand: the metamorphic + invariant oracle suite."""
+
+    def run_text(self, argv) -> tuple[int, str]:
+        out = io.StringIO()
+        code = main(argv, out=out)
+        return code, out.getvalue()
+
+    def test_list_prints_relation_names(self):
+        code, text = self.run_text(["check", "--list"])
+        assert code == 0
+        names = text.split()
+        assert "incremental-equals-batch" in names
+        assert "executors-agree" in names
+
+    def test_passing_subset_exits_zero(self):
+        code, text = self.run_text(
+            ["check", "--seed", "2021", "--examples", "2",
+             "--property", "dirty-self-consistency",
+             "--property", "interned-equals-string"]
+        )
+        assert code == 0
+
+    def test_self_test_fails_with_replay_and_counterexample(self):
+        code, text = self.run_text(
+            ["check", "--seed", "2021", "--examples", "2",
+             "--shrink-budget", "80", "--self-test-failure"]
+        )
+        assert code == 1
+        assert "minimal counterexample" in text
+        assert (
+            "replay: repro-er check --seed 2021 --examples 2 "
+            "--property self-test-failure" in text
+        )
+
+    def test_replay_command_is_self_contained(self):
+        """The printed replay line must reproduce the failure verbatim."""
+        code, text = self.run_text(
+            ["check", "--seed", "2021", "--examples", "2",
+             "--property", "self-test-failure"]
+        )
+        assert code == 1
+        assert "self-test-failure" in text
+
+    def test_unknown_property_exits_two(self):
+        code, text = self.run_text(
+            ["check", "--property", "no-such-relation"]
+        )
+        assert code == 2
