@@ -1,0 +1,151 @@
+"""CI smoke check for crash-consistent resume, with a real ``kill -9``.
+
+The in-process crash harness (``tests/durability``) injects failures at
+the WAL layer; this script kills an *actual* ``repro-er dedupe`` process
+with SIGKILL mid-run — no atexit handlers, no flushing, the same way an
+OOM-killer or power cut ends a process — then resumes from the WAL
+directory with ``repro-er resume`` and demands the final match set equal
+an uninterrupted run of the same command.
+
+Exit code 0 on success; any mismatch or timeout is a CI failure.
+
+    PYTHONPATH=src python scripts/crash_resume_smoke.py
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+#: Hard ceiling on any child process; a hung resume is a failure, not a wait.
+CHILD_TIMEOUT = 120.0
+KILL_AFTER = 0.8  # seconds of progress before the SIGKILL lands
+ATTEMPTS = 4
+
+
+def command(args: list[str]) -> list[str]:
+    return [sys.executable, "-m", "repro", *args]
+
+
+def write_dataset(path: Path, rows: int = 400) -> None:
+    """A JSONL catalog where consecutive id pairs are near-duplicates."""
+    with path.open("w", encoding="utf-8") as handle:
+        for i in range(rows):
+            pair = i // 2
+            title = f"widget model {pair} deluxe edition series {pair % 7}"
+            if i % 2:
+                title += " refurbished"
+            handle.write(json.dumps({"id": i, "title": title}) + "\n")
+
+
+def match_set(stdout: str) -> set[tuple]:
+    pairs = set()
+    for line in stdout.splitlines():
+        if not line.strip():
+            continue
+        record = json.loads(line)
+        key = tuple(sorted((str(record["left"]), str(record["right"]))))
+        pairs.add((key, record["similarity"]))
+    return pairs
+
+
+def run_to_completion(args: list[str]) -> str:
+    result = subprocess.run(
+        command(args),
+        capture_output=True,
+        text=True,
+        timeout=CHILD_TIMEOUT,
+        check=False,
+    )
+    if result.returncode != 0:
+        raise SystemExit(
+            f"FAIL: {' '.join(args[:2])} exited {result.returncode}: "
+            f"{result.stderr.strip()[-500:]}"
+        )
+    return result.stdout
+
+
+def crash_a_run(data: Path, wal_dir: Path, throttle: float) -> bool:
+    """Start a durable dedupe and SIGKILL it mid-run.
+
+    Returns False when the run finished before the kill landed (caller
+    retries with a heavier throttle).
+    """
+    proc = subprocess.Popen(
+        command(
+            [
+                "dedupe", str(data), "--threshold", "0.6",
+                "--wal-dir", str(wal_dir), "--checkpoint-every", "25",
+                "--throttle", f"{throttle}",
+            ]
+        ),
+        stdout=subprocess.DEVNULL,
+        stderr=subprocess.DEVNULL,
+    )
+    deadline = time.monotonic() + KILL_AFTER
+    while time.monotonic() < deadline:
+        if proc.poll() is not None:
+            return False  # finished before we could kill it
+        time.sleep(0.02)
+    os.kill(proc.pid, signal.SIGKILL)
+    proc.wait(timeout=CHILD_TIMEOUT)
+    if proc.returncode != -signal.SIGKILL:
+        raise SystemExit(
+            f"FAIL: expected the child to die by SIGKILL, got "
+            f"returncode {proc.returncode}"
+        )
+    return True
+
+
+def main() -> int:
+    with tempfile.TemporaryDirectory(prefix="crash-smoke-") as root:
+        base = Path(root)
+        data = base / "catalog.jsonl"
+        write_dataset(data)
+
+        reference = match_set(
+            run_to_completion(["dedupe", str(data), "--threshold", "0.6"])
+        )
+        if not reference:
+            raise SystemExit("FAIL: the reference run found no matches")
+
+        for attempt in range(1, ATTEMPTS + 1):
+            wal_dir = base / f"wal-{attempt}"
+            throttle = 0.004 * attempt  # heavier each retry
+            if crash_a_run(data, wal_dir, throttle):
+                break
+            print(
+                f"attempt {attempt}: run finished before the kill landed; "
+                f"retrying with throttle {0.004 * (attempt + 1):.3f}s"
+            )
+        else:
+            raise SystemExit(
+                f"FAIL: could not catch the run mid-flight in {ATTEMPTS} attempts"
+            )
+
+        resumed = match_set(
+            run_to_completion(["resume", str(wal_dir), str(data)])
+        )
+        if resumed != reference:
+            missing = reference - resumed
+            extra = resumed - reference
+            raise SystemExit(
+                f"FAIL: resumed match set diverges from the uninterrupted "
+                f"run ({len(missing)} missing, {len(extra)} extra); e.g. "
+                f"missing {sorted(missing)[:3]} extra {sorted(extra)[:3]}"
+            )
+        print(
+            f"OK: killed -9 mid-run (attempt {attempt}), resumed to the "
+            f"identical {len(resumed)}-pair match set"
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -2,6 +2,8 @@
 
 from repro.core.backends import (
     CooccurrenceCounter,
+    DurabilityConfig,
+    DurableBackend,
     InMemoryBackend,
     ShardedBackend,
     StateBackend,
@@ -39,6 +41,8 @@ __all__ = [
     "StateBackend",
     "InMemoryBackend",
     "ShardedBackend",
+    "DurableBackend",
+    "DurabilityConfig",
     "CooccurrenceCounter",
     "BlockCollection",
     "Blacklist",

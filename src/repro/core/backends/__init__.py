@@ -1,6 +1,12 @@
 """Pluggable state backends: where the ER state σ physically lives."""
 
 from repro.core.backends.base import CooccurrenceCounter, StateBackend
+from repro.core.backends.durable import (
+    CommittingStage,
+    DurabilityConfig,
+    DurableBackend,
+    config_fingerprint,
+)
 from repro.core.backends.memory import InMemoryBackend
 from repro.core.backends.sharded import (
     ShardedBackend,
@@ -16,6 +22,10 @@ __all__ = [
     "StateBackend",
     "CooccurrenceCounter",
     "InMemoryBackend",
+    "DurableBackend",
+    "DurabilityConfig",
+    "CommittingStage",
+    "config_fingerprint",
     "ShardedBackend",
     "ShardedBlockCollection",
     "ShardedBlacklist",

@@ -2,13 +2,22 @@
 
 §III-A of the paper allows the initial state σ₁ to be "filled with the
 state resulting from applying ER on another dataset, which D is updating".
-This module makes that concrete: the full pipeline state (block
-collection, blacklist, profile map, match store) round-trips through a
-single JSON document, so resolution can be suspended, shipped, and resumed
-with bit-identical results.
+This module makes that concrete: the full pipeline state round-trips
+through a single JSON document, so resolution can be suspended, shipped,
+and resumed with bit-identical results.
 
-Identifiers survive the round trip for the shapes the framework produces:
-ints, strings, and (source, local_id) tuples from clean-clean ER.
+Since the durability layer landed, the on-disk format *is* the snapshot
+schema of :mod:`repro.durability.snapshot` (version 2) — a cooperative
+suspend is simply a checkpoint at epoch 0 with no WAL.  Crucially, v2
+persists the :class:`~repro.reading.interning.TokenDictionary` in id
+order, so resuming restores the exact token-id assignment instead of
+re-interning (which assigns ids in *iteration* order of each profile's
+token set and can therefore reorder them — the v1 format had exactly
+this hole).
+
+Version-1 documents (which carried no dictionary) are still read through
+a compatibility shim; their interned profiles are rebuilt by re-interning,
+reproducing the v1 behaviour, ids and all.
 """
 
 from __future__ import annotations
@@ -19,65 +28,26 @@ from pathlib import Path
 from typing import IO
 
 from repro.core.pipeline import StreamERPipeline
-from repro.errors import DatasetError
-from repro.types import EntityId, Match, Profile
+from repro.durability.codec import decode_id, decode_match
+from repro.durability.snapshot import (
+    SNAPSHOT_FORMAT,
+    apply_state_document,
+    state_document,
+)
+from repro.errors import DatasetError, RecoveryError
+from repro.types import Profile
 
-
-def _encode_id(eid: EntityId) -> object:
-    if isinstance(eid, tuple):
-        return {"__tuple__": [_encode_id(part) for part in eid]}
-    if isinstance(eid, (int, str)) or eid is None:
-        return eid
-    raise DatasetError(f"identifier {eid!r} is not JSON-persistable")
-
-
-def _decode_id(value: object) -> EntityId:
-    if isinstance(value, dict) and "__tuple__" in value:
-        return tuple(_decode_id(part) for part in value["__tuple__"])
-    return value  # type: ignore[return-value]
-
-
-def _encode_profile(profile: Profile) -> dict:
-    return {
-        "eid": _encode_id(profile.eid),
-        "attributes": [[name, value] for name, value in profile.attributes],
-        "tokens": sorted(profile.tokens),
-        "source": profile.source,
-    }
-
-
-def _decode_profile(data: dict) -> Profile:
-    return Profile(
-        eid=_decode_id(data["eid"]),
-        attributes=tuple((name, value) for name, value in data["attributes"]),
-        tokens=frozenset(data["tokens"]),
-        source=data.get("source"),
-    )
+LEGACY_FORMAT = "repro-er-state"
 
 
 def dump_state(pipeline: StreamERPipeline, target: str | Path | IO[str]) -> None:
-    """Serialize the pipeline's complete state to a JSON document."""
-    document = {
-        "format": "repro-er-state",
-        "version": 1,
-        "entities_processed": pipeline.entities_processed,
-        "blocks": {
-            key: [_encode_id(eid) for eid in members]
-            for key, members in pipeline.bb.blocks.items()
-        },
-        "blacklist": sorted(pipeline.bb.blacklist.keys),
-        "profiles": [
-            _encode_profile(profile) for profile in pipeline.lm.profiles.values()
-        ],
-        "matches": [
-            {
-                "left": _encode_id(m.left),
-                "right": _encode_id(m.right),
-                "similarity": m.similarity,
-            }
-            for m in pipeline.cl.matches.matches()
-        ],
-    }
+    """Serialize the pipeline's complete state to a JSON document (v2)."""
+    document = state_document(
+        pipeline.backend,
+        entities_processed=pipeline.entities_processed,
+        epoch=0,
+        next_seq=pipeline.entities_processed,
+    )
     if isinstance(target, (str, Path)):
         with Path(target).open("w", encoding="utf-8") as handle:
             json.dump(document, handle)
@@ -90,7 +60,8 @@ def load_state(pipeline: StreamERPipeline, source: str | Path | IO[str]) -> None
 
     The pipeline must not have processed anything yet — resuming merges,
     rather than replaces, and a half-filled state would silently corrupt
-    the resolution.
+    the resolution.  Accepts both the current snapshot documents and
+    legacy version-1 dumps.
     """
     if pipeline.entities_processed:
         raise DatasetError("state can only be loaded into a fresh pipeline")
@@ -99,33 +70,52 @@ def load_state(pipeline: StreamERPipeline, source: str | Path | IO[str]) -> None
             document = json.load(handle)
     else:
         document = json.load(source)
-    if document.get("format") != "repro-er-state":
+    fmt = document.get("format")
+    if fmt == LEGACY_FORMAT:
+        _load_legacy(pipeline, document)
+        return
+    if fmt != SNAPSHOT_FORMAT:
         raise DatasetError("not a repro ER state document")
+    try:
+        # Re-validate through the snapshot loader's rules (version + hash)
+        # by routing the already-parsed document through its appliers.
+        from repro.durability.snapshot import SNAPSHOT_VERSION, _document_sha
+
+        if document.get("version") != SNAPSHOT_VERSION:
+            raise DatasetError(
+                f"unsupported state version {document.get('version')!r}"
+            )
+        if document.get("sha256") != _document_sha(document):
+            raise DatasetError("state document fails its integrity hash")
+        count = apply_state_document(document, pipeline.backend)
+    except RecoveryError as exc:
+        raise DatasetError(str(exc)) from exc
+    pipeline._entities_processed = count  # noqa: SLF001
+
+
+def _load_legacy(pipeline: StreamERPipeline, document: dict) -> None:
+    """The version-1 shim: no persisted dictionary, ids re-interned."""
     if document.get("version") != 1:
         raise DatasetError(f"unsupported state version {document.get('version')!r}")
-
+    backend = pipeline.backend
     for key, members in document["blocks"].items():
         for encoded in members:
-            pipeline.bb.blocks.add(key, _decode_id(encoded))
+            backend.blocks.add(key, decode_id(encoded))
     for key in document["blacklist"]:
-        pipeline.bb.blacklist.add(key)
-    # Token ids are dictionary-relative, so the dump stores only the token
-    # strings; an interning pipeline re-interns on load, which rebuilds a
-    # consistent id space in the resuming run's own dictionary.
+        backend.blacklist.add(key)
     dictionary = pipeline.dr.builder.dictionary
     for encoded in document["profiles"]:
-        profile = _decode_profile(encoded)
+        profile = Profile(
+            eid=decode_id(encoded["eid"]),
+            attributes=tuple((n, v) for n, v in encoded["attributes"]),
+            tokens=frozenset(encoded["tokens"]),
+            source=encoded.get("source"),
+        )
         if dictionary is not None:
             profile = dataclasses.replace(
                 profile, token_ids=dictionary.intern_set(profile.tokens)
             )
-        pipeline.lm.profiles.put(profile)
+        backend.profiles.put(profile)
     for encoded in document["matches"]:
-        pipeline.cl.matches.add(
-            Match(
-                left=_decode_id(encoded["left"]),
-                right=_decode_id(encoded["right"]),
-                similarity=encoded["similarity"],
-            )
-        )
+        backend.matches.add(decode_match(encoded))
     pipeline._entities_processed = document["entities_processed"]  # noqa: SLF001

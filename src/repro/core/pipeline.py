@@ -127,6 +127,24 @@ class StreamERPipeline:
         enabled, stage outputs are verified per message and the
         state-scope invariants run every ``checker.state_every`` entities.
         Defaults to ``None`` — no wrapping, zero overhead.
+    wal_dir:
+        When given, state is wrapped in a
+        :class:`~repro.core.backends.DurableBackend`: every mutation is
+        write-ahead logged under this directory, and the run can be
+        resumed crash-consistently (see ``docs/durability.md``).
+    checkpoint_every:
+        Committed entities between snapshot checkpoints of the durable
+        run (0 = never checkpoint).  Ignored without ``wal_dir``.
+    fsync:
+        Durable-run fsync policy: ``"always"``, ``"commit"`` (default)
+        or ``"never"``.  Ignored without ``wal_dir``.
+    resume:
+        Recover state from an existing durable run directory instead of
+        starting fresh.  Requires ``wal_dir``; ``entities_processed``
+        continues from the recovered count.
+    crash_point:
+        Arms the WAL crash-injection hook
+        (:class:`~repro.parallel.faults.CrashPoint`) — test harness only.
 
     The optional-stage attributes (``bg``, ``cc``) are ``None`` when the
     plan dropped those nodes (block/comparison cleaning disabled).
@@ -141,6 +159,11 @@ class StreamERPipeline:
         registry: MetricsRegistry | None = None,
         tracer: Tracer | None = None,
         checker: InvariantChecker | None = None,
+        wal_dir: str | None = None,
+        checkpoint_every: int = 0,
+        fsync: str = "commit",
+        resume: bool = False,
+        crash_point: object | None = None,
     ) -> None:
         self.plan = plan if plan is not None else PipelinePlan.from_config(config)
         self.config = self.plan.config
@@ -153,6 +176,44 @@ class StreamERPipeline:
             self.checker.exempt_provider = lambda: {
                 d.entity_id for d in self.dead_letters
             }
+        recovered_count = 0
+        if resume and wal_dir is None:
+            raise ConfigurationError("resume=True requires wal_dir")
+        if wal_dir is not None:
+            from repro.core.backends.durable import (
+                DurabilityConfig,
+                DurableBackend,
+                config_fingerprint,
+            )
+
+            durability = DurabilityConfig(
+                wal_dir=wal_dir, checkpoint_every=checkpoint_every, fsync=fsync
+            )
+            fingerprint = config_fingerprint(self.config)
+            if resume:
+                from repro.durability.recovery import recover
+
+                recovered = recover(wal_dir)
+                backend = DurableBackend.resume(
+                    durability,
+                    recovered,
+                    registry=self.registry,
+                    fingerprint=fingerprint,
+                    crash_point=crash_point,  # type: ignore[arg-type]
+                )
+                recovered_count = recovered.entities_processed
+            else:
+                if backend is None:
+                    from repro.core.backends import InMemoryBackend
+
+                    backend = InMemoryBackend()
+                backend = DurableBackend(
+                    backend,
+                    durability,
+                    registry=self.registry,
+                    fingerprint=fingerprint,
+                    crash_point=crash_point,  # type: ignore[arg-type]
+                )
         self.compiled = self.plan.compile(
             backend, registry=self.registry, checker=self.checker
         )
@@ -169,10 +230,19 @@ class StreamERPipeline:
         self.co = self.compiled.get("co")
         self.cl = self.compiled.get("cl")
         self._stages = tuple(stage for _, stage in self.compiled.ordered())
-        self._entities_processed = 0
+        self._entities_processed = recovered_count
         self.items_failed = 0
         self.retries_performed = 0
         self.dead_letters: list[DeadLetter] = []
+
+    def close(self) -> None:
+        """Release durable-run resources (fsync + close the live WAL).
+
+        A no-op for plain in-memory runs; safe to call more than once.
+        """
+        close = getattr(self.backend, "close", None)
+        if close is not None:
+            close()
 
     # -- state access -------------------------------------------------
 

@@ -40,6 +40,7 @@ from typing import Callable
 
 from repro.comparison.kernel import InternedComparator
 from repro.core.backends import InMemoryBackend, StateBackend
+from repro.core.backends.durable import CommittingStage
 from repro.core.config import StreamERConfig
 from repro.core.stages import (
     STAGE_ORDER,
@@ -244,6 +245,11 @@ class CompiledPipeline:
         self._stages: dict[str, Callable] = {
             spec.name: spec.factory(plan.config, backend) for spec in plan.specs
         }
+        if hasattr(backend, "commit_entity") and "cl" in self._stages:
+            # Durable backend: commit each entity as it leaves ``f_cl``.
+            # Innermost wrapper, so instrumentation times the commit and
+            # invariant checking still sees the stage's real output.
+            self._stages["cl"] = CommittingStage("cl", self._stages["cl"], backend)
         if self.registry.enabled:
             declare_pipeline_metrics(self.registry, self.plan.stage_names())
             self._stages = {

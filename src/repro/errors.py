@@ -37,6 +37,36 @@ class DatasetError(ReproError):
     """A dataset definition or generator received inconsistent arguments."""
 
 
+class WalCorruptionError(ReproError):
+    """A write-ahead log record failed its length/checksum validation.
+
+    Raised for corruption *inside* the log body (a damaged record with
+    valid records after it) — that is data loss, never a torn tail, and
+    recovery refuses to silently drop committed records.  A damaged
+    *final* record is classified as a torn tail instead and clamped to
+    the last consistent prefix (see ``docs/durability.md``).
+    """
+
+
+class RecoveryError(ReproError):
+    """Crash recovery could not reconstruct a consistent state.
+
+    Covers a missing WAL segment chain, a commit-sequence gap during
+    replay, or a configuration fingerprint mismatch between the durable
+    run on disk and the pipeline trying to resume it.
+    """
+
+
+class SimulatedCrash(ReproError):
+    """The crash-injection harness killed the run at a seeded WAL point.
+
+    Only raised by an armed :class:`repro.durability.wal.CrashPoint`; the
+    writer is dead afterwards (every further append re-raises), modelling
+    a ``kill -9`` mid-write.  Seeing it outside a crash-injection test
+    means a crash point leaked into production wiring.
+    """
+
+
 class InvariantViolation(ReproError):
     """A runtime invariant over pipeline state or stage output was violated.
 

@@ -312,6 +312,75 @@ def check_match_store(view: StateView) -> None:
             _fail("match-store-consistent", f"self-match {a!r} in the store")
 
 
+@_invariant(
+    "durability-layout-consistent",
+    "state",
+    description="durable run directory is well-formed: monotonic snapshot "
+    "epochs, gap-free WAL segment chain up to the live epoch",
+)
+def check_durability_layout(view: StateView) -> None:
+    backend = view.backend
+    wal_dir = getattr(backend, "wal_dir", None)
+    if wal_dir is None or not hasattr(backend, "commit_entity"):
+        return  # not a durable backend
+    from repro.durability.snapshot import list_snapshots
+    from repro.durability.wal import segment_path
+
+    snapshots = list_snapshots(wal_dir)
+    epochs = [epoch for epoch, _ in snapshots]
+    if epochs != sorted(set(epochs)):
+        _fail(
+            "durability-layout-consistent",
+            f"snapshot epochs are not strictly monotonic: {epochs}",
+        )
+    if epochs and epochs[-1] > backend.epoch:
+        _fail(
+            "durability-layout-consistent",
+            f"newest snapshot epoch {epochs[-1]} is ahead of the live WAL "
+            f"epoch {backend.epoch}",
+        )
+    chain_start = epochs[-1] if epochs else 0
+    for epoch in range(chain_start, backend.epoch + 1):
+        if not segment_path(wal_dir, epoch).exists():
+            _fail(
+                "durability-layout-consistent",
+                f"WAL segment for epoch {epoch} is missing (chain "
+                f"{chain_start}..{backend.epoch})",
+            )
+
+
+@_invariant(
+    "durability-replay-digest",
+    "state",
+    description="replaying the durable run from disk reproduces the live "
+    "state, digest for digest",
+)
+def check_durability_replay(view: StateView) -> None:
+    backend = view.backend
+    if getattr(backend, "wal_dir", None) is None or not hasattr(
+        backend, "commit_entity"
+    ):
+        return  # not a durable backend
+    if view.exempt:
+        # Dead-lettered entities mutated state without committing; replay
+        # (which stops at the last commit) legitimately diverges.
+        return
+    backend.flush()
+    from repro.durability.codec import state_digest
+    from repro.durability.recovery import recover
+
+    recovered = recover(backend.wal_dir)
+    live = state_digest(backend)
+    replayed = state_digest(recovered.backend)
+    if live != replayed:
+        _fail(
+            "durability-replay-digest",
+            f"replayed-state digest {replayed[:16]}… != live-state digest "
+            f"{live[:16]}… at entity boundary "
+            f"{getattr(backend, 'entities_committed', '?')}",
+        )
+
+
 # --------------------------------------------------------------------------
 # Stage-scope invariants (over inter-stage messages)
 

@@ -52,7 +52,15 @@ __all__ = [
     "MATCHES",
     "ENTITY_LATENCY_SECONDS",
     "PIPELINE_METRIC_NAMES",
+    "WAL_RECORDS",
+    "WAL_BYTES",
+    "WAL_SYNCS",
+    "CHECKPOINTS",
+    "CHECKPOINT_SECONDS",
+    "CHECKPOINT_EPOCH",
+    "DURABILITY_METRIC_NAMES",
     "declare_pipeline_metrics",
+    "declare_durability_metrics",
     "InstrumentedStage",
 ]
 
@@ -81,6 +89,25 @@ PIPELINE_METRIC_NAMES: tuple[str, ...] = (
     ENTITY_LATENCY_SECONDS,
 )
 
+WAL_RECORDS = "er_wal_records_total"
+WAL_BYTES = "er_wal_bytes_total"
+WAL_SYNCS = "er_wal_syncs_total"
+CHECKPOINTS = "er_checkpoints_total"
+CHECKPOINT_SECONDS = "er_checkpoint_seconds"
+CHECKPOINT_EPOCH = "er_checkpoint_epoch"
+
+#: The durability families, declared only for durable (WAL-backed) runs —
+#: kept out of :data:`PIPELINE_METRIC_NAMES` so the cross-executor
+#: name-set comparisons of plain runs stay exact.
+DURABILITY_METRIC_NAMES: tuple[str, ...] = (
+    WAL_RECORDS,
+    WAL_BYTES,
+    WAL_SYNCS,
+    CHECKPOINTS,
+    CHECKPOINT_SECONDS,
+    CHECKPOINT_EPOCH,
+)
+
 
 def declare_pipeline_metrics(
     registry: MetricsRegistry, stage_names: Iterable[str]
@@ -104,6 +131,22 @@ def declare_pipeline_metrics(
     registry.counter(ENTITIES)
     registry.counter(MATCHES)
     registry.histogram(ENTITY_LATENCY_SECONDS)
+
+
+def declare_durability_metrics(registry: MetricsRegistry) -> None:
+    """Pre-register the WAL/checkpoint families (durable runs only).
+
+    Idempotent; a no-op on a disabled registry.  Called by
+    :class:`~repro.core.backends.durable.DurableBackend`.
+    """
+    if not registry.enabled:
+        return
+    registry.counter(WAL_RECORDS)
+    registry.counter(WAL_BYTES)
+    registry.counter(WAL_SYNCS)
+    registry.counter(CHECKPOINTS)
+    registry.histogram(CHECKPOINT_SECONDS)
+    registry.gauge(CHECKPOINT_EPOCH)
 
 
 class InstrumentedStage:

@@ -29,8 +29,25 @@ from dataclasses import dataclass
 from typing import Callable, Hashable, Mapping
 
 from repro.core.plan import STAGE_ORDER
-from repro.errors import ConfigurationError, InjectedFault
+from repro.durability.wal import CrashPoint
+from repro.errors import ConfigurationError, InjectedFault, SimulatedCrash
 from repro.parallel.supervision import extract_entity_id
+
+__all__ = [
+    "CrashPoint",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultSpec",
+    "SimulatedCrash",
+    "wrap_stages",
+]
+
+# CrashPoint / SimulatedCrash belong to this harness conceptually — they
+# are the durability layer's fault hook, killing a run at a seeded WAL
+# record index (optionally mid-record) instead of at a seeded item.  They
+# live in repro.durability.wal because the writer consults them, and are
+# re-exported here as the one-stop fault-injection namespace; arm one via
+# StreamERPipeline(..., wal_dir=..., crash_point=CrashPoint(at_record=7)).
 
 _MODES = ("raise", "delay", "corrupt")
 

@@ -27,6 +27,11 @@ must hold for every input — metamorphic oracles:
 ``interned-equals-string``
     the integer-interned comparison kernel is score-equivalent to the
     string token path;
+``resume-equals-uninterrupted``
+    a durable (WAL-backed) run killed at a seeded record — cleanly
+    between records or mid-record — recovers and resumes to the exact
+    match set of an uninterrupted run (resume-after-crash is just
+    another increment cut; see ``docs/durability.md``);
 ``invariants-hold``
     an incremental sequential run passes every state/stage/run invariant
     in :mod:`repro.invariants`.
@@ -272,6 +277,77 @@ def _check_invariants_hold(case: ERCase) -> None:
         raise CheckFailed(checker.report())
 
 
+def _check_resume_equals_uninterrupted(case: ERCase) -> None:
+    # Resume-after-crash is just another increment cut of the incremental
+    # fold: kill a durable run at a seeded WAL record (clean or torn),
+    # recover, re-feed the uncommitted suffix, and the final match set —
+    # pairs *and* similarities — must equal an uninterrupted run's.
+    import tempfile
+    from pathlib import Path
+
+    from repro.durability.wal import CrashPoint
+    from repro.errors import SimulatedCrash
+
+    entities = list(case.entities)
+    reference = _run_batch(case)
+    baseline = {
+        (m.key(), m.similarity) for m in reference.backend.matches.matches()
+    }
+    with tempfile.TemporaryDirectory(prefix="repro-resume-") as root:
+        probe = StreamERPipeline(
+            case.config(),
+            instrument=False,
+            wal_dir=str(Path(root) / "probe"),
+            checkpoint_every=5,
+        )
+        probe.process_many(entities)
+        probe.close()
+        total = probe.backend.wal_records_seen
+        if not total:
+            return  # nothing was ever logged; nothing to crash into
+        rng = random.Random(f"{case.salt}:resume")
+        scenarios = [
+            (1, None),  # the very first record
+            (rng.randint(1, total), None),  # a clean mid-run crash
+            (rng.randint(1, total), rng.randint(1, 7)),  # a torn write
+        ]
+        for index, (at_record, torn_bytes) in enumerate(scenarios):
+            wal_dir = str(Path(root) / f"crash-{index}")
+            crashed = StreamERPipeline(
+                case.config(),
+                instrument=False,
+                wal_dir=wal_dir,
+                checkpoint_every=5,
+                crash_point=CrashPoint(at_record=at_record, torn_bytes=torn_bytes),
+            )
+            try:
+                crashed.process_many(entities)
+            except SimulatedCrash:
+                pass
+            resumed = StreamERPipeline(
+                case.config(),
+                instrument=False,
+                wal_dir=wal_dir,
+                resume=True,
+                checkpoint_every=5,
+            )
+            resumed.process_many(entities[resumed.entities_processed :])
+            resumed.close()
+            pairs = {
+                (m.key(), m.similarity)
+                for m in resumed.backend.matches.matches()
+            }
+            if pairs != baseline:
+                _fail_diff(
+                    f"crash at WAL record {at_record} "
+                    f"(torn_bytes={torn_bytes}) did not resume bit-identical",
+                    "resumed",
+                    pairs,
+                    "uninterrupted",
+                    baseline,
+                )
+
+
 def _without_cleaning(case: ERCase) -> ERCase:
     return replace(case, block_cleaning=False, comparison_cleaning=False)
 
@@ -337,6 +413,16 @@ METAMORPHIC_RELATIONS: tuple[Relation, ...] = (
         description="The interned comparison kernel matches the string path.",
         gen=er_cases(),
         check=_check_interned_equals_string,
+    ),
+    Relation(
+        name="resume-equals-uninterrupted",
+        description=(
+            "A durable run killed at a seeded WAL record (clean or torn) "
+            "resumes to the exact match set of an uninterrupted run."
+        ),
+        gen=er_cases(),
+        check=_check_resume_equals_uninterrupted,
+        heavy=True,
     ),
     Relation(
         name="invariants-hold",

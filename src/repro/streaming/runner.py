@@ -81,6 +81,14 @@ class LiveStreamRunner:
     vocabulary; ``metrics_path`` additionally writes a JSON snapshot of
     the registry when the run finishes (see
     :func:`repro.observability.export.write_json_snapshot`).
+
+    With ``wal_dir``, the run's state lives in a
+    :class:`~repro.core.backends.DurableBackend`: every mutation is
+    write-ahead logged and checkpointed every ``checkpoint_every``
+    committed entities.  The thread framework interleaves entity
+    mutations before their commit records, so replay-to-last-commit is
+    best-effort here (exact for the sequential executor); see
+    ``docs/durability.md``.
     """
 
     def __init__(
@@ -91,6 +99,9 @@ class LiveStreamRunner:
         stage_seconds: dict[str, float] | None = None,
         registry: MetricsRegistry | None = None,
         metrics_path: str | None = None,
+        wal_dir: str | None = None,
+        checkpoint_every: int = 0,
+        fsync: str = "commit",
     ) -> None:
         self.config = config
         self.plan = PipelinePlan.from_config(config)
@@ -99,6 +110,30 @@ class LiveStreamRunner:
         self.stage_seconds = stage_seconds
         self.registry = registry
         self.metrics_path = metrics_path
+        self.wal_dir = wal_dir
+        self.checkpoint_every = checkpoint_every
+        self.fsync = fsync
+
+    def _backend(self):
+        if self.wal_dir is None:
+            return None
+        from repro.core.backends import (
+            DurabilityConfig,
+            DurableBackend,
+            InMemoryBackend,
+            config_fingerprint,
+        )
+
+        return DurableBackend(
+            InMemoryBackend(),
+            DurabilityConfig(
+                wal_dir=self.wal_dir,
+                checkpoint_every=self.checkpoint_every,
+                fsync=self.fsync,
+            ),
+            registry=self.registry,
+            fingerprint=config_fingerprint(self.config),
+        )
 
     def run(
         self,
@@ -106,14 +141,18 @@ class LiveStreamRunner:
         rate: float,
         window: float = 1.0,
     ) -> StreamRunReport:
+        backend = self._backend()
         pipeline = ParallelERPipeline(
             plan=self.plan,
             processes=self.processes,
             stage_seconds=self.stage_seconds,
             micro_batch_size=self.micro_batch_size,
             registry=self.registry,
+            backend=backend,
         )
         result = pipeline.run(RateLimitedSource(entities, rate))
+        if backend is not None:
+            backend.close()
         if self.registry is not None and self.metrics_path is not None:
             write_json_snapshot(self.registry, self.metrics_path)
         # Completion timestamps are recoverable from elapsed + latencies

@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import io
+import json
 
 import pytest
 
@@ -102,3 +103,92 @@ class TestGuards:
         pipeline = make_pipeline(tiny_dirty_dataset, threshold=0.9)
         with pytest.raises(DatasetError, match="version"):
             load_state(pipeline, path)
+
+
+class TestTokenIdStability:
+    """Regression: v1 re-interned tokens on load, which assigns ids in
+    iteration order of each profile's token set and can reorder them.
+    The v2 format persists the dictionary itself, in id order."""
+
+    def make_interned(self, n: int):
+        return StreamERPipeline(
+            StreamERConfig.interned(
+                alpha=StreamERConfig.alpha_for(n, 0.05),
+                beta=0.05,
+                classifier=ThresholdClassifier(0.5),
+            ),
+            instrument=False,
+        )
+
+    def test_interned_ids_survive_the_round_trip(self, tiny_dirty_dataset, tmp_path):
+        entities = list(tiny_dirty_dataset.stream())[:80]
+        first = self.make_interned(len(entities))
+        first.process_many(entities)
+        path = tmp_path / "state.json"
+        dump_state(first, path)
+
+        restored = self.make_interned(len(entities))
+        load_state(restored, path)
+        assert list(restored.backend.dictionary) == list(first.backend.dictionary)
+        originals = {p.eid: p for p in first.backend.profiles.values()}
+        for profile in restored.backend.profiles.values():
+            assert profile.token_ids == originals[profile.eid].token_ids
+
+    def test_dump_is_the_snapshot_format(self, tiny_dirty_dataset, tmp_path):
+        entities = list(tiny_dirty_dataset.stream())[:10]
+        pipeline = self.make_interned(len(entities))
+        pipeline.process_many(entities)
+        path = tmp_path / "state.json"
+        dump_state(pipeline, path)
+        document = json.loads(path.read_text())
+        assert document["format"] == "repro-er-snapshot"
+        assert document["version"] == 2
+        assert document["dictionary"]  # the fix: ids ship with the state
+
+
+class TestLegacyV1:
+    def test_v1_document_loads_through_the_shim(self, tiny_dirty_dataset, tmp_path):
+        document = {
+            "format": "repro-er-state",
+            "version": 1,
+            "entities_processed": 2,
+            "blocks": {"lamp": [1, 2]},
+            "blacklist": ["common"],
+            "profiles": [
+                {
+                    "eid": 1,
+                    "attributes": [["title", "red lamp"]],
+                    "tokens": ["red", "lamp"],
+                    "source": None,
+                },
+                {
+                    "eid": 2,
+                    "attributes": [["title", "red lamp"]],
+                    "tokens": ["red", "lamp"],
+                    "source": None,
+                },
+            ],
+            "matches": [{"left": 1, "right": 2, "similarity": 1.0}],
+        }
+        path = tmp_path / "v1.json"
+        path.write_text(json.dumps(document))
+        pipeline = make_pipeline(tiny_dirty_dataset, threshold=0.9)
+        load_state(pipeline, path)
+        assert pipeline.entities_processed == 2
+        assert pipeline.backend.blocks.block("lamp") == [1, 2]
+        assert "common" in pipeline.backend.blacklist
+        assert pipeline.backend.matches.pairs() == {(1, 2)}
+
+
+class TestIntegrity:
+    def test_tampered_document_is_rejected(self, tiny_dirty_dataset, tmp_path):
+        pipeline = make_pipeline(tiny_dirty_dataset, threshold=0.9)
+        pipeline.process_many(list(tiny_dirty_dataset.stream())[:10])
+        path = tmp_path / "state.json"
+        dump_state(pipeline, path)
+        document = json.loads(path.read_text())
+        document["entities_processed"] = 999
+        path.write_text(json.dumps(document))
+        fresh = make_pipeline(tiny_dirty_dataset, threshold=0.9)
+        with pytest.raises(DatasetError, match="integrity"):
+            load_state(fresh, path)

@@ -1,0 +1,245 @@
+"""Crash-injection harness: kill the run at seeded WAL appends, resume,
+and demand the final state is bit-identical to an uninterrupted run.
+
+The sweep covers clean crashes (between records) and torn writes (a
+record cut mid-frame on disk), crashes during the resumed run itself,
+and the cooperating machinery: checkpoint retention, configuration
+fingerprints, and the durability invariants.  The seeded-random sweep
+with shrinking lives in the ``resume-equals-uninterrupted`` metamorphic
+relation, exercised here at a fixed seed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import pytest
+
+from repro.classification import OracleClassifier
+from repro.core import StreamERConfig, StreamERPipeline
+from repro.datasets import DatasetSpec, generate
+from repro.durability.codec import state_digest
+from repro.durability.recovery import recover, resume_pipeline
+from repro.durability.snapshot import list_snapshots
+from repro.durability.wal import segment_path
+from repro.errors import (
+    ConfigurationError,
+    InvariantViolation,
+    RecoveryError,
+    SimulatedCrash,
+)
+from repro.invariants import InvariantChecker
+from repro.invariants.checks import StateView, check_durability_layout
+from repro.parallel.faults import CrashPoint
+from repro.proptest import run_suite
+
+CHECKPOINT_EVERY = 13
+SEED = 2021
+
+
+def match_set(pipeline) -> set:
+    return {(m.key(), m.similarity) for m in pipeline.backend.matches.matches()}
+
+
+@dataclass
+class Baseline:
+    config: StreamERConfig
+    entities: list
+    matches: set
+    digest: str
+    total_records: int
+
+
+@pytest.fixture(scope="module")
+def baseline(tmp_path_factory) -> Baseline:
+    dataset = generate(
+        DatasetSpec(
+            name="crash-sweep", kind="dirty", size=60, matches=45,
+            avg_attributes=4.0, heterogeneity=0.2, vocab_rare=2000, seed=11,
+        )
+    )
+    entities = list(dataset.stream())
+    config = StreamERConfig(
+        alpha=StreamERConfig.alpha_for(len(entities), 0.05),
+        beta=0.05,
+        classifier=OracleClassifier.from_pairs(dataset.ground_truth),
+    )
+    plain = StreamERPipeline(config, instrument=False)
+    plain.process_many(entities)
+
+    wal_dir = tmp_path_factory.mktemp("uninterrupted")
+    durable = StreamERPipeline(
+        config,
+        instrument=False,
+        wal_dir=str(wal_dir),
+        checkpoint_every=CHECKPOINT_EVERY,
+    )
+    durable.process_many(entities)
+    durable.close()
+    assert match_set(durable) == match_set(plain)
+    return Baseline(
+        config=config,
+        entities=entities,
+        matches=match_set(plain),
+        digest=state_digest(durable.backend.inner),
+        total_records=durable.backend.wal_records_seen,
+    )
+
+
+def crash_run(baseline: Baseline, wal_dir, at_record, torn_bytes=None):
+    pipeline = StreamERPipeline(
+        baseline.config,
+        instrument=False,
+        wal_dir=str(wal_dir),
+        checkpoint_every=CHECKPOINT_EVERY,
+        crash_point=CrashPoint(at_record=at_record, torn_bytes=torn_bytes),
+    )
+    with pytest.raises(SimulatedCrash):
+        pipeline.process_many(baseline.entities)
+    return pipeline
+
+
+def resume_and_finish(baseline: Baseline, wal_dir):
+    resumed = resume_pipeline(baseline.config, str(wal_dir), instrument=False)
+    skip = resumed.entities_processed
+    resumed.process_many(baseline.entities[skip:])
+    resumed.close()
+    return resumed
+
+
+class TestCrashSweep:
+    def test_crash_at_seeded_points_resumes_bit_identical(self, baseline, tmp_path):
+        total = baseline.total_records
+        scenarios = sorted(
+            {(1, None), (2, None), (total // 4, None), (total // 2, None),
+             (total - 1, None), (total, None),
+             (total // 3, 1), (total // 2, 3), (total, 6)},
+            key=lambda s: (s[0], s[1] or 0),
+        )
+        for index, (at_record, torn_bytes) in enumerate(scenarios):
+            wal_dir = tmp_path / f"crash-{index}"
+            crash_run(baseline, wal_dir, at_record, torn_bytes)
+            resumed = resume_and_finish(baseline, wal_dir)
+            label = f"crash at record {at_record} (torn_bytes={torn_bytes})"
+            assert match_set(resumed) == baseline.matches, label
+            assert state_digest(resumed.backend.inner) == baseline.digest, label
+
+    def test_crash_during_the_resumed_run_survives_too(self, baseline, tmp_path):
+        wal_dir = tmp_path / "double-crash"
+        crash_run(baseline, wal_dir, baseline.total_records // 2, torn_bytes=2)
+        # The resumed run dies as well, mid-write, before finishing.
+        resumed = resume_pipeline(
+            baseline.config,
+            str(wal_dir),
+            instrument=False,
+            crash_point=CrashPoint(at_record=40, torn_bytes=4),
+        )
+        skip = resumed.entities_processed
+        with pytest.raises(SimulatedCrash):
+            resumed.process_many(baseline.entities[skip:])
+        final = resume_and_finish(baseline, wal_dir)
+        assert match_set(final) == baseline.matches
+        assert state_digest(final.backend.inner) == baseline.digest
+
+    def test_pipeline_is_dead_after_the_injected_crash(self, baseline, tmp_path):
+        pipeline = crash_run(baseline, tmp_path / "dead", at_record=50)
+        with pytest.raises(SimulatedCrash, match="dead"):
+            pipeline.process(baseline.entities[-1])
+
+    def test_resume_after_clean_shutdown_is_a_no_op_replay(self, baseline, tmp_path):
+        wal_dir = tmp_path / "clean"
+        durable = StreamERPipeline(
+            baseline.config,
+            instrument=False,
+            wal_dir=str(wal_dir),
+            checkpoint_every=CHECKPOINT_EVERY,
+        )
+        durable.process_many(baseline.entities)
+        durable.close()
+        resumed = resume_pipeline(baseline.config, str(wal_dir), instrument=False)
+        assert resumed.entities_processed == len(baseline.entities)
+        assert match_set(resumed) == baseline.matches
+        assert state_digest(resumed.backend.inner) == baseline.digest
+        resumed.close()
+
+
+class TestProptestSweep:
+    def test_relation_sweep_at_fixed_seed(self):
+        report = run_suite(
+            seed=SEED, examples=2, names=["resume-equals-uninterrupted"]
+        )
+        assert report.ok, [f.describe() for f in report.failures()]
+
+
+class TestRunDirectoryDiscipline:
+    def test_fresh_run_refuses_an_existing_run_directory(self, baseline, tmp_path):
+        wal_dir = tmp_path / "occupied"
+        crash_run(baseline, wal_dir, at_record=10)
+        with pytest.raises(ConfigurationError, match="already holds"):
+            StreamERPipeline(
+                baseline.config, instrument=False, wal_dir=str(wal_dir)
+            )
+
+    def test_resume_requires_wal_dir(self, baseline):
+        with pytest.raises(ConfigurationError, match="wal_dir"):
+            StreamERPipeline(baseline.config, instrument=False, resume=True)
+
+    def test_fingerprint_mismatch_refuses_to_resume(self, baseline, tmp_path):
+        wal_dir = tmp_path / "pinned"
+        crash_run(baseline, wal_dir, at_record=30)
+        other = StreamERConfig(
+            alpha=baseline.config.alpha + 5,
+            beta=baseline.config.beta,
+            classifier=baseline.config.classifier,
+        )
+        with pytest.raises(RecoveryError, match="fingerprint"):
+            resume_pipeline(other, str(wal_dir), instrument=False)
+
+    def test_checkpoint_retention_bounds_the_directory(self, baseline, tmp_path):
+        wal_dir = tmp_path / "retention"
+        durable = StreamERPipeline(
+            baseline.config,
+            instrument=False,
+            wal_dir=str(wal_dir),
+            checkpoint_every=10,
+        )
+        durable.process_many(baseline.entities)
+        durable.close()
+        epochs = [epoch for epoch, _ in list_snapshots(wal_dir)]
+        assert len(epochs) == 2  # keep_snapshots default
+        assert epochs[-1] == durable.backend.epoch
+        segments = sorted(
+            int(p.stem.removeprefix("wal-")) for p in wal_dir.glob("wal-*.log")
+        )
+        assert segments == list(range(epochs[0], epochs[-1] + 1))
+        # And the bounded directory still recovers the full state.
+        assert state_digest(recover(wal_dir).backend) == baseline.digest
+
+
+class TestDurabilityInvariants:
+    def test_checked_durable_run_is_violation_free(self, baseline, tmp_path):
+        checker = InvariantChecker(mode="raise", state_every=20)
+        durable = StreamERPipeline(
+            baseline.config,
+            instrument=False,
+            checker=checker,
+            wal_dir=str(tmp_path / "checked"),
+            checkpoint_every=CHECKPOINT_EVERY,
+        )
+        durable.process_many(baseline.entities)  # raises on any violation
+        durable.close()
+
+    def test_layout_invariant_catches_a_missing_segment(self, baseline, tmp_path):
+        wal_dir = tmp_path / "holey"
+        durable = StreamERPipeline(
+            baseline.config,
+            instrument=False,
+            wal_dir=str(wal_dir),
+            checkpoint_every=10,
+        )
+        durable.process_many(baseline.entities)
+        segment_path(wal_dir, durable.backend.epoch).unlink()
+        view = StateView(config=baseline.config, backend=durable.backend)
+        with pytest.raises(InvariantViolation, match="missing"):
+            check_durability_layout(view)
+        durable.close()

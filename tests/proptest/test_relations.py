@@ -30,6 +30,7 @@ class TestSuiteComposition:
             "clean-clean-cross-source",
             "executors-agree",
             "interned-equals-string",
+            "resume-equals-uninterrupted",
             "invariants-hold",
         )
 

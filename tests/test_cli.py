@@ -245,3 +245,32 @@ class TestCheck:
             ["check", "--property", "no-such-relation"]
         )
         assert code == 2
+
+
+class TestResume:
+    """The ``resume`` subcommand: continue a durable run from its WAL dir."""
+
+    def test_resume_replays_a_durable_run(self, catalog_csv, tmp_path):
+        wal_dir = tmp_path / "wal"
+        code, records = run_cli(
+            [
+                "dedupe", str(catalog_csv), "--threshold", "0.6",
+                "--wal-dir", str(wal_dir), "--checkpoint-every", "2",
+            ]
+        )
+        assert code == 0
+        baseline = {(r["left"], r["right"], r["similarity"]) for r in records}
+        assert baseline
+        assert (wal_dir / "meta.json").exists()
+
+        code, records = run_cli(["resume", str(wal_dir), str(catalog_csv)])
+        assert code == 0
+        resumed = {(r["left"], r["right"], r["similarity"]) for r in records}
+        assert resumed == baseline
+
+    def test_resume_of_a_missing_directory_fails(self, tmp_path):
+        code, records = run_cli(
+            ["resume", str(tmp_path / "nope"), str(tmp_path / "x.csv")]
+        )
+        assert code == 2
+        assert records == []
