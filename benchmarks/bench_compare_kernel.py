@@ -30,15 +30,15 @@ from __future__ import annotations
 
 import argparse
 import json
-import os
 import sys
 import time
 from pathlib import Path
 
-from common import save_result
+from common import effective_cpus, save_result
 
 from repro.classification import ThresholdClassifier
 from repro.core import StreamERConfig, StreamERPipeline
+from repro.core.backends import SharedMemoryBackend, active_shm_segments
 from repro.datasets import DatasetSpec, generate
 from repro.evaluation import format_table
 from repro.parallel import MultiprocessERPipeline
@@ -108,7 +108,7 @@ def _run_sequential(config: StreamERConfig, entities, reps: int = SEQ_REPS) -> d
     }
 
 
-def run_benchmark(n_entities: int = N_ENTITIES) -> dict:
+def run_benchmark(n_entities: int = N_ENTITIES, backend: str = "memory") -> dict:
     ds = _dataset(n_entities)
     entities = list(ds.stream())
 
@@ -118,15 +118,23 @@ def run_benchmark(n_entities: int = N_ENTITIES) -> dict:
         StreamERConfig.interned(prefilter=False, **_base_kwargs(ds)), entities
     )
 
+    shm_backend = SharedMemoryBackend() if backend == "shm" else None
     start = time.perf_counter()
     mp_pipeline = MultiprocessERPipeline(
         StreamERConfig.interned(**_base_kwargs(ds)),
         workers=WORKERS,
         chunk_size=CHUNK_SIZE,
+        backend=shm_backend,
     )
     mp_result = mp_pipeline.run(entities)
     mp_seconds = time.perf_counter() - start
     mp_pairs = mp_pipeline.backend.matches.pairs()
+    mp_pipeline.close()
+    leaked_segments = 0
+    if shm_backend is not None:
+        prefix = shm_backend.name
+        shm_backend.unlink()
+        leaked_segments = len(active_shm_segments(prefix))
 
     co_speedup = (
         seq_string["co_seconds"] / seq_interned["co_seconds"]
@@ -141,7 +149,9 @@ def run_benchmark(n_entities: int = N_ENTITIES) -> dict:
         "threshold": THRESHOLD,
         "workers": WORKERS,
         "chunk_size": CHUNK_SIZE,
-        "effective_cpus": len(os.sched_getaffinity(0)),
+        "mp_backend": backend,
+        "leaked_shm_segments": leaked_segments,
+        "effective_cpus": effective_cpus(),
         "sequential_string": _public(seq_string),
         "sequential_interned": _public(seq_interned),
         "sequential_interned_noprefilter": _public(seq_noprefilter),
@@ -222,13 +232,21 @@ def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--entities", type=int, default=N_ENTITIES)
     parser.add_argument(
+        "--backend",
+        choices=("memory", "shm"),
+        default="memory",
+        help="state backend for the multiprocess run (shm = shared-memory "
+        "token columns with row-number dispatch)",
+    )
+    parser.add_argument(
         "--smoke",
         action="store_true",
-        help="correctness only: fail on match-set divergence, ignore timing",
+        help="correctness only: fail on match-set divergence (and, with "
+        "--backend shm, on leaked shared-memory segments); ignore timing",
     )
     args = parser.parse_args(argv)
 
-    payload = run_benchmark(args.entities)
+    payload = run_benchmark(args.entities, backend=args.backend)
     if args.smoke:
         diverged = not (
             payload["comparisons"]["string_vs_interned"]["match_sets_identical"]
@@ -240,6 +258,12 @@ def main(argv: list[str] | None = None) -> int:
         print(f"co_speedup={payload['co_speedup']} (informational in smoke mode)")
         if diverged:
             print("FAIL: interned kernel diverged from the string-set match set")
+            return 1
+        if payload["leaked_shm_segments"]:
+            print(
+                f"FAIL: {payload['leaked_shm_segments']} shared-memory "
+                "segment(s) leaked after the multiprocess run"
+            )
             return 1
         print("OK: match sets identical across comparators and executors")
         return 0

@@ -19,11 +19,10 @@ containers) the run still validates exact match equivalence and records
 from __future__ import annotations
 
 import json
-import os
 import time
 from pathlib import Path
 
-from common import save_result
+from common import effective_cpus, save_result
 
 from repro.classification import OracleClassifier
 from repro.core import StreamERConfig, StreamERPipeline
@@ -85,7 +84,7 @@ def run_benchmark() -> dict:
     par_seconds = time.perf_counter() - start
     par_pairs = parallel.backend.matches.pairs()
 
-    effective_cpus = len(os.sched_getaffinity(0))
+    cpus = effective_cpus()
     speedup = seq_seconds / par_seconds if par_seconds > 0 else 0.0
     return {
         "benchmark": "sharded_backend_scaling",
@@ -93,8 +92,8 @@ def run_benchmark() -> dict:
         "shards": SHARDS,
         "workers": WORKERS,
         "chunk_size": CHUNK_SIZE,
-        "effective_cpus": effective_cpus,
-        "cpu_limited": effective_cpus < 2,
+        "effective_cpus": cpus,
+        "cpu_limited": cpus < 2,
         "sequential": {
             "seconds": round(seq_seconds, 3),
             "entities_per_second": round(len(entities) / seq_seconds, 1),

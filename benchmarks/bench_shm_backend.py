@@ -1,0 +1,224 @@
+"""Shared-memory columnar backend + persistent pool vs the old mp path.
+
+The tentpole claim of the shared-memory backend is that the multiprocess
+executor's losses were never about parallelism — they were per-increment
+chunk-table serialization and pool re-spawning.  This benchmark stages the
+dynamic-data scenario both ways on the same generated dataset, split into
+increments like a stream of deltas:
+
+* ``sequential`` — one interned sequential pipeline over all increments
+  (the bar to beat, repeated and min-timed);
+* ``mp_respawn`` — the old regime: in-memory backend, id-array chunk
+  tables re-serialized per chunk, worker pool torn down and re-spawned for
+  every increment (``persistent_pool=False``);
+* ``mp_shm_persistent`` — the new regime: one
+  :class:`~repro.core.backends.SharedMemoryBackend`, workers attached to
+  the token columns once, row-number dispatch, the pool reused across all
+  increments via :class:`~repro.streaming.MultiprocessStreamRunner`.
+
+Measurements land in ``BENCH_shm_backend.json`` at the repository root.
+``mp_speedup`` is the sequential / shm-persistent wall-clock ratio; the
+> 1 target is asserted only when at least two effective CPUs are granted —
+on single-CPU hosts the JSON records ``cpu_limited: true`` and the run
+still validates exact match equality and zero leaked ``/dev/shm``
+segments.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+from common import effective_cpus, save_result
+
+from repro.classification import ThresholdClassifier
+from repro.core import StreamERConfig, StreamERPipeline
+from repro.core.backends import active_shm_segments
+from repro.datasets import DatasetSpec, generate
+from repro.evaluation import format_table
+from repro.parallel import MultiprocessERPipeline
+from repro.streaming import MultiprocessStreamRunner
+
+N_ENTITIES = 20_000
+N_INCREMENTS = 8
+THRESHOLD = 0.7
+SEQ_REPS = 3
+WORKERS = 2
+CHUNK_SIZE = 512
+SPEEDUP_TARGET = 1.0
+RESULT_PATH = Path(__file__).resolve().parent.parent / "BENCH_shm_backend.json"
+
+
+def _dataset(n_entities: int):
+    return generate(
+        DatasetSpec(
+            name="bench-shm-backend",
+            kind="dirty",
+            size=n_entities,
+            matches=max(1, int(n_entities * 0.3)),
+            avg_attributes=4.0,
+            heterogeneity=0.5,
+            vocab_rare=30_000,
+            seed=7,
+        )
+    )
+
+
+def _config(ds) -> StreamERConfig:
+    return StreamERConfig.interned(
+        alpha=StreamERConfig.alpha_for(len(ds), 0.05),
+        beta=0.05,
+        clean_clean=ds.clean_clean,
+        classifier=ThresholdClassifier(THRESHOLD),
+    )
+
+
+def _increments(entities: list, n: int) -> list[list]:
+    size = max(1, (len(entities) + n - 1) // n)
+    return [entities[i : i + size] for i in range(0, len(entities), size)]
+
+
+def run_benchmark(n_entities: int = N_ENTITIES) -> dict:
+    ds = _dataset(n_entities)
+    entities = list(ds.stream())
+    increments = _increments(entities, N_INCREMENTS)
+
+    seq_seconds = float("inf")
+    seq_pairs = None
+    for _ in range(SEQ_REPS):
+        start = time.perf_counter()
+        sequential = StreamERPipeline(_config(ds), instrument=False)
+        for increment in increments:
+            sequential.process_many(increment)
+        seq_seconds = min(seq_seconds, time.perf_counter() - start)
+        seq_pairs = sequential.cl.matches.pairs()
+
+    # The old regime: chunk tables over the wire, a fresh pool per increment.
+    start = time.perf_counter()
+    respawn = MultiprocessERPipeline(
+        _config(ds),
+        workers=WORKERS,
+        chunk_size=CHUNK_SIZE,
+        persistent_pool=False,
+    )
+    for increment in increments:
+        respawn.run(increment)
+    respawn_seconds = time.perf_counter() - start
+    respawn_pairs = respawn.backend.matches.pairs()
+    respawn_spawns = respawn.pool_spawns
+    respawn.close()
+
+    # The new regime: shared columns, row dispatch, one pool for the run.
+    start = time.perf_counter()
+    runner = MultiprocessStreamRunner(
+        _config(ds), workers=WORKERS, chunk_size=CHUNK_SIZE
+    )
+    with runner:
+        for increment in increments:
+            runner.process_increment(increment)
+        shm_pairs = runner.match_pairs()
+        shm_prefix = runner.backend.name
+        shm_bytes = runner.backend.shm_bytes()
+        shm_segments = len(runner.backend.segment_names())
+        pool_spawns = runner.pipeline.pool_spawns
+        pool_reuses = runner.pipeline.pool_reuses
+        dispatch = runner.pipeline.dispatch_mode
+    shm_seconds = time.perf_counter() - start
+    leaked = len(active_shm_segments(shm_prefix))
+
+    cpus = effective_cpus()
+    mp_speedup = seq_seconds / shm_seconds if shm_seconds > 0 else 0.0
+    speedup_vs_respawn = (
+        respawn_seconds / shm_seconds if shm_seconds > 0 else 0.0
+    )
+    return {
+        "benchmark": "shm_backend_persistent_pool",
+        "entities": len(entities),
+        "increments": len(increments),
+        "workers": WORKERS,
+        "chunk_size": CHUNK_SIZE,
+        "effective_cpus": cpus,
+        "cpu_limited": cpus < 2,
+        "sequential": {
+            "seconds": round(seq_seconds, 3),
+            "entities_per_second": round(len(entities) / seq_seconds, 1),
+            "matches": len(seq_pairs),
+        },
+        "mp_respawn": {
+            "seconds": round(respawn_seconds, 3),
+            "entities_per_second": round(len(entities) / respawn_seconds, 1),
+            "matches": len(respawn_pairs),
+            "pool_spawns": respawn_spawns,
+            "dispatch_mode": "ids",
+        },
+        "mp_shm_persistent": {
+            "seconds": round(shm_seconds, 3),
+            "entities_per_second": round(len(entities) / shm_seconds, 1),
+            "matches": len(shm_pairs),
+            "pool_spawns": pool_spawns,
+            "pool_reuses": pool_reuses,
+            "dispatch_mode": dispatch,
+            "shm_bytes": shm_bytes,
+            "shm_segments": shm_segments,
+        },
+        "mp_speedup": round(mp_speedup, 3),
+        "speedup_vs_respawn": round(speedup_vs_respawn, 3),
+        "speedup_target": SPEEDUP_TARGET,
+        "speedup_target_met": mp_speedup > SPEEDUP_TARGET,
+        "match_sets_identical": shm_pairs == seq_pairs
+        and respawn_pairs == seq_pairs,
+        "leaked_shm_segments": leaked,
+    }
+
+
+def test_shm_backend_persistent_pool(benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+
+    payload = run_benchmark()
+    RESULT_PATH.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+
+    rows = [
+        {
+            "executor": "sequential",
+            "seconds": payload["sequential"]["seconds"],
+            "e_per_s": payload["sequential"]["entities_per_second"],
+            "matches": payload["sequential"]["matches"],
+        },
+        {
+            "executor": f"mp x{WORKERS} respawn+tables",
+            "seconds": payload["mp_respawn"]["seconds"],
+            "e_per_s": payload["mp_respawn"]["entities_per_second"],
+            "matches": payload["mp_respawn"]["matches"],
+        },
+        {
+            "executor": f"mp x{WORKERS} shm+persistent",
+            "seconds": payload["mp_shm_persistent"]["seconds"],
+            "e_per_s": payload["mp_shm_persistent"]["entities_per_second"],
+            "matches": payload["mp_shm_persistent"]["matches"],
+        },
+    ]
+    save_result(
+        "shm_backend",
+        format_table(rows)
+        + f"\nmp speedup vs seq: {payload['mp_speedup']}x"
+        + f" | vs respawn: {payload['speedup_vs_respawn']}x"
+        + f" on {payload['effective_cpus']} cpu(s)"
+        + f"\n[saved to {RESULT_PATH}]",
+    )
+
+    # Representation changes must never change the answer, on any hardware,
+    # and the creator must never leak a segment.
+    assert payload["match_sets_identical"]
+    assert payload["leaked_shm_segments"] == 0
+    assert payload["mp_shm_persistent"]["dispatch_mode"] == "shm"
+    assert payload["mp_shm_persistent"]["pool_spawns"] == 1
+    # The throughput target only makes sense with real parallelism.
+    if not payload["cpu_limited"]:
+        assert payload["mp_speedup"] > SPEEDUP_TARGET, payload
+
+
+if __name__ == "__main__":
+    payload = run_benchmark()
+    RESULT_PATH.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    print(json.dumps(payload, indent=2))

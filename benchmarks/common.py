@@ -12,6 +12,7 @@ preserved.
 
 from __future__ import annotations
 
+import os
 from pathlib import Path
 
 from repro.classification import OracleClassifier
@@ -19,6 +20,22 @@ from repro.core import StreamERConfig
 from repro.datasets import GeneratedDataset, load
 
 RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def effective_cpus() -> int:
+    """CPUs actually usable by this process, not CPUs in the machine.
+
+    ``os.cpu_count()`` reports the box; cgroup-pinned containers and
+    taskset-restricted CI runners grant fewer.  Speedup targets and the
+    ``cpu_limited`` annotations in the committed BENCH json must reflect
+    what the benchmark could actually use, so everything here goes
+    through the scheduler affinity mask (with a fallback for platforms
+    that have no such call, e.g. macOS).
+    """
+    getaffinity = getattr(os, "sched_getaffinity", None)
+    if getaffinity is not None:
+        return len(getaffinity(0))
+    return os.cpu_count() or 1
 
 #: Per-benchmark dataset scales (fractions of the real Table II sizes).
 BENCH_SCALES: dict[str, float] = {

@@ -1,6 +1,10 @@
 """Pluggable state backends: where the ER state σ physically lives."""
 
-from repro.core.backends.base import CooccurrenceCounter, StateBackend
+from repro.core.backends.base import (
+    CooccurrenceCounter,
+    StateBackend,
+    backend_capabilities,
+)
 from repro.core.backends.durable import (
     CommittingStage,
     DurabilityConfig,
@@ -17,10 +21,19 @@ from repro.core.backends.sharded import (
     ShardedProfileStore,
     shard_index,
 )
+from repro.core.backends.shm import (
+    SharedColumnReader,
+    SharedColumnStore,
+    SharedMemoryBackend,
+    SharedTokenArrayStore,
+    SharedTokenDictionary,
+    active_shm_segments,
+)
 
 __all__ = [
     "StateBackend",
     "CooccurrenceCounter",
+    "backend_capabilities",
     "InMemoryBackend",
     "DurableBackend",
     "DurabilityConfig",
@@ -33,4 +46,10 @@ __all__ = [
     "ShardedMatchStore",
     "ShardedCooccurrenceCounter",
     "shard_index",
+    "SharedColumnReader",
+    "SharedColumnStore",
+    "SharedMemoryBackend",
+    "SharedTokenArrayStore",
+    "SharedTokenDictionary",
+    "active_shm_segments",
 ]

@@ -92,3 +92,23 @@ class StateBackend(Protocol):
     def state(self) -> "ERState":
         """An :class:`~repro.core.state.ERState` view over the components."""
         ...
+
+
+def backend_capabilities(backend: object) -> frozenset[str]:
+    """The optional capability strings a backend advertises.
+
+    Capabilities are how executors negotiate representation-specific fast
+    paths without type-sniffing concrete backends: a backend that can do
+    more than the :class:`StateBackend` protocol exposes a
+    ``capabilities()`` method returning capability strings (e.g.
+    :data:`~repro.core.backends.shm.SharedMemoryBackend.TOKEN_COLUMNS`),
+    and an executor checks for the strings it knows how to exploit.
+    Backends without the method simply advertise nothing.  Decorating
+    backends (:class:`~repro.core.backends.durable.DurableBackend`)
+    forward the method to their inner backend via attribute delegation,
+    so capabilities survive wrapping.
+    """
+    probe = getattr(backend, "capabilities", None)
+    if probe is None:
+        return frozenset()
+    return frozenset(probe())

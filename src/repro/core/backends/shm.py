@@ -1,0 +1,656 @@
+"""Shared-memory columnar state: dispatch without per-run serialization.
+
+The multiprocess executor's original wire format shipped a ``{entity id →
+packed token array}`` table with every chunk — the same entity's tokens
+crossed the process boundary once per chunk it appeared in, and the pool
+itself was torn down and re-spawned per increment.  Both benchmarks showed
+the consequence: the interned kernel's single-core gains were eaten by
+pickling and fork cost, and multiprocess ran *slower* than sequential.
+
+This module removes the data from the wire.  Token payloads live in
+``multiprocessing.shared_memory`` segments behind numpy-backed columnar
+stores; workers attach once at pool spawn and afterwards receive only row
+numbers.  Two design rules make that safe without any cross-process lock:
+
+**Append-only columns.**  A :class:`SharedColumnStore` is a log of
+variable-length records.  Records are addressed by a dense row number;
+the directory column maps row → ``(data generation, offset, length)``.
+Nothing is ever overwritten, so a row number handed to a worker stays
+valid for the lifetime of the store.
+
+**Epoch publication.**  A single writer (the parent process) appends the
+record bytes first, then the directory entry, and only *then* bumps the
+published-row counter — one aligned int64 store in the control segment.
+Readers treat the published count as the horizon: a row below it is fully
+written by construction, so readers can never observe a torn record, even
+while the writer is mid-append.  Growth works the same way: capacity is
+added as new, never-moved *generation* segments (doubling sizes, with
+deterministic names recorded in the control segment), and a generation
+becomes visible to readers only when the control segment's generation
+counter is bumped after the segment is fully created.  Readers attach
+lazily when a row points past what they have mapped.
+
+Lifecycle is explicit because leaked ``/dev/shm`` segments outlive the
+process: the creating process owns unlinking (guarded by pid, so a forked
+worker can never unlink the parent's segments), ``close``/``unlink`` are
+idempotent, the backend is a context manager, and a ``weakref.finalize``
+hook covers garbage collection and interpreter exit.  Workers attaching
+by name unregister the segment from :mod:`multiprocessing.resource_tracker`
+so the tracker does not double-unlink (or warn) on worker exit.
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+import secrets
+import weakref
+from array import array
+from bisect import bisect_right
+from multiprocessing import resource_tracker, shared_memory
+from pathlib import Path
+from typing import Iterable
+
+import numpy as np
+
+from repro.core.backends.base import CooccurrenceCounter
+from repro.core.state import (
+    Blacklist,
+    BlockCollection,
+    ERState,
+    MatchStore,
+    ProfileStore,
+)
+from repro.errors import ConfigurationError
+from repro.reading.interning import TokenDictionary, pack_ids
+from repro.types import EntityId
+
+__all__ = [
+    "SHM_NAME_PREFIX",
+    "SharedColumnReader",
+    "SharedColumnStore",
+    "SharedDictionaryReader",
+    "SharedMemoryBackend",
+    "SharedTokenArrayStore",
+    "SharedTokenDictionary",
+    "active_shm_segments",
+    "attach_segment",
+    "decode_packed",
+]
+
+#: Every segment this module creates starts with this, so leak checks can
+#: enumerate exactly our segments in ``/dev/shm`` and nothing else.
+SHM_NAME_PREFIX = "reproER"
+
+#: Hard cap on growth generations per store.  Capacities double, so 48
+#: generations from a 256 KiB seed cover more address space than exists;
+#: the cap only bounds the fixed-size capacity tables in the control
+#: segment.
+MAX_GENERATIONS = 48
+
+_CTL_PUBLISHED = 0  # rows readers may touch
+_CTL_DATA_GENS = 1  # data generations fully created
+_CTL_DIR_GENS = 2  # directory generations fully created
+_CTL_DATA_CAPS = 3  # + g: byte capacity of data generation g
+_CTL_DIR_CAPS = _CTL_DATA_CAPS + MAX_GENERATIONS  # + g: row capacity of dir gen g
+_CTL_SLOTS = _CTL_DIR_CAPS + MAX_GENERATIONS
+_CTL_BYTES = _CTL_SLOTS * 8
+
+_DIR_WIDTH = 3  # (data generation, offset, length) int64 triples
+
+_counter = itertools.count()
+
+
+def _fresh_prefix() -> str:
+    """A segment-name prefix unique across processes and runs.
+
+    Kept short: POSIX shm names are limited to 31 characters on some
+    platforms (macOS), and generation suffixes ride on top of this.
+    """
+    return f"{SHM_NAME_PREFIX}{os.getpid():x}x{next(_counter):x}{secrets.token_hex(2)}"
+
+
+#: Segment names created by (an ancestor of) this interpreter.  Used to
+#: decide whether an attach must detach itself from the resource tracker:
+#: a *spawned* worker starts with this empty (fresh module state) and must
+#: unregister, while the creator itself and *forked* children — which
+#: share the creator's tracker process — must leave the creator's
+#: registration alone.
+_created_names: set[str] = set()
+
+
+def attach_segment(name: str) -> shared_memory.SharedMemory:
+    """Attach to an existing segment *without* adopting cleanup duty.
+
+    ``SharedMemory(name=...)`` registers the segment with the process's
+    resource tracker, which would unlink it when *this* process exits —
+    wrong for a worker attaching to the parent's state, and the source of
+    the well-known "leaked shared_memory objects" warnings.  Creating
+    processes own unlinking; attachers are read-only guests, so a fresh
+    (spawned) process un-registers itself here.
+    """
+    segment = shared_memory.SharedMemory(name=name)
+    if name not in _created_names:
+        try:  # private attr carries the registered (leading-slash) form
+            resource_tracker.unregister(segment._name, "shared_memory")  # type: ignore[attr-defined]
+        except Exception:  # pragma: no cover - tracker variations
+            pass
+    return segment
+
+
+def active_shm_segments(prefix: str | None = None) -> list[str]:
+    """Names of live ``/dev/shm`` segments created by this module.
+
+    The leak-detection primitive used by tests and the benchmark smoke
+    runs: after a run plus cleanup, this must be empty.  With ``prefix``,
+    restricted to one store/backend's segments.  Returns ``[]`` on
+    platforms without a ``/dev/shm`` filesystem (the tests that rely on
+    enumeration skip there).
+    """
+    root = Path("/dev/shm")
+    if not root.is_dir():
+        return []
+    wanted = prefix if prefix is not None else SHM_NAME_PREFIX
+    try:
+        return sorted(p.name for p in root.iterdir() if p.name.startswith(wanted))
+    except OSError:  # pragma: no cover - racing unlinks
+        return []
+
+
+def _close_segment(segment: shared_memory.SharedMemory) -> None:
+    try:
+        segment.close()
+    except BufferError:  # pragma: no cover - a live numpy view at exit
+        pass
+
+
+def _unlink_segment(segment: shared_memory.SharedMemory) -> None:
+    try:
+        segment.unlink()
+    except FileNotFoundError:
+        pass
+
+
+class SharedColumnStore:
+    """Single-writer append-only record log in shared memory.
+
+    One control segment publishes the row horizon and the generation
+    tables; data lives in ``{prefix}d{g}`` byte segments, the row
+    directory in ``{prefix}i{g}`` int64-triple segments.  ``append`` is
+    the only mutator and must be called from one process (the parent);
+    any number of :class:`SharedColumnReader` processes may read
+    concurrently without locking.
+    """
+
+    def __init__(
+        self,
+        prefix: str | None = None,
+        *,
+        data_bytes: int = 1 << 18,
+        dir_rows: int = 1 << 12,
+    ) -> None:
+        if data_bytes < 1 or dir_rows < 1:
+            raise ConfigurationError("data_bytes and dir_rows must be >= 1")
+        self.prefix = prefix if prefix is not None else _fresh_prefix()
+        self._segments: list[shared_memory.SharedMemory] = []
+        self._closed = False
+        try:
+            ctl = self._create(f"{self.prefix}c", _CTL_BYTES)
+            self._ctl = np.frombuffer(ctl.buf, dtype=np.int64, count=_CTL_SLOTS)
+            self._ctl[:] = 0
+            self._data: list[np.ndarray] = []
+            self._dirs: list[np.ndarray] = []
+            self._data_caps: list[int] = []
+            self._dir_caps: list[int] = []
+            self._dir_bases: list[int] = []
+            self._grow_data(data_bytes)
+            self._grow_dir(dir_rows)
+        except BaseException:
+            self._release_views()
+            for segment in self._segments:
+                _close_segment(segment)
+                _unlink_segment(segment)
+            raise
+        self._rows = 0
+        self._data_used = 0
+        self._dir_used = 0
+        self.bytes_appended = 0
+
+    # -- segment plumbing ----------------------------------------------
+
+    def _create(self, name: str, size: int) -> shared_memory.SharedMemory:
+        segment = shared_memory.SharedMemory(name=name, create=True, size=size)
+        self._segments.append(segment)
+        _created_names.add(name)
+        return segment
+
+    def _grow_data(self, capacity: int) -> None:
+        g = len(self._data)
+        if g >= MAX_GENERATIONS:
+            raise ConfigurationError(
+                f"column store {self.prefix!r} exceeded {MAX_GENERATIONS} "
+                "data generations"
+            )
+        segment = self._create(f"{self.prefix}d{g}", capacity)
+        # The OS may round the mapping up; readers must agree with the
+        # writer on capacity, so the *recorded* capacity is authoritative.
+        view = np.frombuffer(segment.buf, dtype=np.uint8, count=capacity)
+        self._data.append(view)
+        self._data_caps.append(capacity)
+        self._ctl[_CTL_DATA_CAPS + g] = capacity
+        self._ctl[_CTL_DATA_GENS] = g + 1  # publish after fully created
+        self._data_used = 0
+
+    def _grow_dir(self, rows: int) -> None:
+        g = len(self._dirs)
+        if g >= MAX_GENERATIONS:
+            raise ConfigurationError(
+                f"column store {self.prefix!r} exceeded {MAX_GENERATIONS} "
+                "directory generations"
+            )
+        segment = self._create(f"{self.prefix}i{g}", rows * _DIR_WIDTH * 8)
+        view = np.frombuffer(
+            segment.buf, dtype=np.int64, count=rows * _DIR_WIDTH
+        ).reshape(rows, _DIR_WIDTH)
+        base = (self._dir_bases[-1] + self._dir_caps[-1]) if self._dirs else 0
+        self._dirs.append(view)
+        self._dir_caps.append(rows)
+        self._dir_bases.append(base)
+        self._ctl[_CTL_DIR_CAPS + g] = rows
+        self._ctl[_CTL_DIR_GENS] = g + 1  # publish after fully created
+        self._dir_used = 0
+
+    # -- the write path ------------------------------------------------
+
+    def append(self, payload) -> int:
+        """Append one record; its row number (dense, starting at 0).
+
+        Publication order is the store's whole correctness argument:
+        data bytes, then the directory triple, then the row-horizon bump.
+        A reader that sees row ``r`` published therefore sees ``r``'s
+        directory entry and data bytes complete.
+        """
+        if self._closed:
+            raise ConfigurationError(f"column store {self.prefix!r} is closed")
+        view = memoryview(payload)
+        if view.ndim != 1 or view.itemsize != 1:
+            view = view.cast("B")
+        length = view.nbytes
+        if length > self._data_caps[-1] - self._data_used:
+            self._grow_data(max(self._data_caps[-1] * 2, length))
+        generation = len(self._data) - 1
+        offset = self._data_used
+        if length:
+            self._data[generation][offset : offset + length] = np.frombuffer(
+                view, dtype=np.uint8
+            )
+        self._data_used = offset + length
+        self.bytes_appended += length
+        if self._dir_used >= self._dir_caps[-1]:
+            self._grow_dir(self._dir_caps[-1] * 2)
+        self._dirs[-1][self._dir_used] = (generation, offset, length)
+        self._dir_used += 1
+        row = self._rows
+        self._rows = row + 1
+        self._ctl[_CTL_PUBLISHED] = self._rows  # publish last
+        return row
+
+    def __len__(self) -> int:
+        return self._rows
+
+    def record(self, row: int) -> np.ndarray:
+        """The record's bytes as a zero-copy ``uint8`` view (writer side)."""
+        if not 0 <= row < self._rows:
+            raise IndexError(f"row {row} not in [0, {self._rows})")
+        g = bisect_right(self._dir_bases, row) - 1
+        generation, offset, length = self._dirs[g][row - self._dir_bases[g]]
+        return self._data[int(generation)][int(offset) : int(offset) + int(length)]
+
+    # -- lifecycle -----------------------------------------------------
+
+    def segment_names(self) -> list[str]:
+        return [segment.name for segment in self._segments]
+
+    def shm_bytes(self) -> int:
+        return sum(segment.size for segment in self._segments)
+
+    def _release_views(self) -> None:
+        # numpy views keep the mapping exported; SharedMemory.close would
+        # raise BufferError while any survive.
+        self._ctl = None  # type: ignore[assignment]
+        self._data = []
+        self._dirs = []
+
+    def close(self) -> None:
+        """Detach mappings.  The segments stay until :meth:`unlink`."""
+        if self._closed:
+            return
+        self._closed = True
+        self._release_views()
+        for segment in self._segments:
+            _close_segment(segment)
+
+    def unlink(self) -> None:
+        """Remove the segments from the system (creator's duty)."""
+        self.close()
+        for segment in self._segments:
+            _unlink_segment(segment)
+            _created_names.discard(segment.name)
+
+
+class SharedColumnReader:
+    """Lock-free reading end of a :class:`SharedColumnStore`.
+
+    Attach from any process by the store's prefix.  Generations are
+    mapped lazily: a row past the currently-mapped horizon triggers a
+    re-read of the control segment and attachment of whatever new
+    generations the writer has published since.  Reads return zero-copy
+    ``uint8`` views into the shared mapping.
+    """
+
+    def __init__(self, prefix: str) -> None:
+        self.prefix = prefix
+        self._segments: list[shared_memory.SharedMemory] = []
+        self._closed = False
+        ctl = attach_segment(f"{prefix}c")
+        self._segments.append(ctl)
+        self._ctl = np.frombuffer(ctl.buf, dtype=np.int64, count=_CTL_SLOTS)
+        self._data: list[np.ndarray] = []
+        self._dirs: list[np.ndarray] = []
+        self._dir_caps: list[int] = []
+        self._dir_bases: list[int] = []
+        self._rows_known = 0
+        self._refresh()
+
+    def __len__(self) -> int:
+        """Rows published by the writer (re-read, not cached)."""
+        return int(self._ctl[_CTL_PUBLISHED])
+
+    def _refresh(self) -> None:
+        data_gens = int(self._ctl[_CTL_DATA_GENS])
+        while len(self._data) < data_gens:
+            g = len(self._data)
+            segment = attach_segment(f"{self.prefix}d{g}")
+            self._segments.append(segment)
+            capacity = int(self._ctl[_CTL_DATA_CAPS + g])
+            self._data.append(
+                np.frombuffer(segment.buf, dtype=np.uint8, count=capacity)
+            )
+        dir_gens = int(self._ctl[_CTL_DIR_GENS])
+        while len(self._dirs) < dir_gens:
+            g = len(self._dirs)
+            segment = attach_segment(f"{self.prefix}i{g}")
+            self._segments.append(segment)
+            rows = int(self._ctl[_CTL_DIR_CAPS + g])
+            base = (self._dir_bases[-1] + self._dir_caps[-1]) if self._dirs else 0
+            self._dirs.append(
+                np.frombuffer(
+                    segment.buf, dtype=np.int64, count=rows * _DIR_WIDTH
+                ).reshape(rows, _DIR_WIDTH)
+            )
+            self._dir_caps.append(rows)
+            self._dir_bases.append(base)
+        self._rows_known = int(self._ctl[_CTL_PUBLISHED])
+
+    def record(self, row: int) -> np.ndarray:
+        """Zero-copy ``uint8`` view of a published record."""
+        if row >= self._rows_known:
+            self._refresh()
+            if row >= self._rows_known:
+                raise IndexError(
+                    f"row {row} not published yet ({self._rows_known} rows)"
+                )
+        if row < 0:
+            raise IndexError(f"row {row} is negative")
+        g = bisect_right(self._dir_bases, row) - 1
+        generation, offset, length = self._dirs[g][row - self._dir_bases[g]]
+        return self._data[int(generation)][int(offset) : int(offset) + int(length)]
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        self._ctl = None  # type: ignore[assignment]
+        self._data = []
+        self._dirs = []
+        for segment in self._segments:
+            _close_segment(segment)
+
+    def __enter__(self) -> "SharedColumnReader":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def decode_packed(record: "np.ndarray | memoryview") -> array:
+    """Rebuild a :func:`~repro.reading.interning.pack_ids` array from a record.
+
+    The wire format is one ASCII typecode byte followed by the raw
+    machine bytes of the array — the same bytes :meth:`array.tobytes`
+    produced on the writer side.
+    """
+    view = memoryview(record)
+    ids = array(chr(view[0]))
+    ids.frombytes(view[1:])
+    return ids
+
+
+class SharedTokenArrayStore:
+    """Per-entity packed token-id arrays as rows of a shared column.
+
+    The parent appends each entity's :func:`pack_ids` payload *once* —
+    on the first comparison that mentions the entity — and afterwards
+    ships only the row number.  A re-arriving entity whose token set
+    changed (dynamic data) gets a fresh row; the old row stays valid for
+    any chunk already in flight (append-only means no ABA hazard).
+    """
+
+    __slots__ = ("columns", "_rows")
+
+    def __init__(self, columns: SharedColumnStore) -> None:
+        self.columns = columns
+        self._rows: dict[EntityId, tuple[object, int]] = {}
+
+    def __len__(self) -> int:
+        return len(self.columns)
+
+    def row_for(self, eid: EntityId, token_ids: Iterable[int]) -> int:
+        """The row holding ``eid``'s packed ids, appending on first sight.
+
+        The cache key is the token-id set itself (identity fast path,
+        equality slow path), so an updated entity is re-published rather
+        than served stale ids.
+        """
+        cached = self._rows.get(eid)
+        if cached is not None and (cached[0] is token_ids or cached[0] == token_ids):
+            return cached[1]
+        packed = pack_ids(token_ids)
+        record = packed.typecode.encode("ascii") + packed.tobytes()
+        row = self.columns.append(record)
+        self._rows[eid] = (token_ids, row)
+        return row
+
+    def ids_at(self, row: int) -> array:
+        """Decode a row back to its packed array (writer-side check path)."""
+        return decode_packed(self.columns.record(row))
+
+
+class SharedTokenDictionary(TokenDictionary):
+    """A :class:`TokenDictionary` whose id → token column is shared.
+
+    Interning happens in the parent exactly as before (dict probe, lock
+    on miss); the only addition is that a first-seen token's UTF-8 bytes
+    are appended to a shared column under the same lock, so row ``i`` of
+    the column is always the token with id ``i``.  Workers (or any other
+    process) can decode ids without the parent pickling the dictionary.
+    """
+
+    __slots__ = ("columns",)
+
+    def __init__(self, columns: SharedColumnStore) -> None:
+        super().__init__()
+        self.columns = columns
+
+    def _on_new_token(self, token: str, token_id: int) -> None:
+        self.columns.append(token.encode("utf-8"))
+
+
+class SharedDictionaryReader:
+    """Decode token ids from another process, straight off the column."""
+
+    __slots__ = ("_reader",)
+
+    def __init__(self, prefix: str) -> None:
+        self._reader = SharedColumnReader(prefix)
+
+    def __len__(self) -> int:
+        return len(self._reader)
+
+    def decode(self, token_id: int) -> str:
+        return bytes(self._reader.record(token_id)).decode("utf-8")
+
+    def close(self) -> None:
+        self._reader.close()
+
+
+def _finalize_backend(creator_pid: int, stores) -> None:
+    """Module-level so ``weakref.finalize`` holds no reference cycles.
+
+    The pid guard is load-bearing: a forked worker inherits the backend
+    object, and its interpreter exit must *not* unlink the parent's
+    segments out from under the run.  Unlinking through the stores (not a
+    snapshot of segments) covers generations created after construction.
+    """
+    if os.getpid() != creator_pid:
+        return
+    for store in stores:
+        store.unlink()
+
+
+class SharedMemoryBackend:
+    """A :class:`~repro.core.backends.StateBackend` with shared token state.
+
+    Two columns live in shared memory — the token dictionary's id → token
+    strings and the per-entity packed token-id arrays — because those are
+    exactly what the multiprocess comparison stage needs and what used to
+    be re-serialized into every chunk.  The remaining stores (blocks,
+    blacklist, profiles, matches, co-occurrence) are parent-only state
+    that never crosses the process boundary, so they stay as the plain
+    in-memory implementations (injectable, like
+    :class:`~repro.core.backends.memory.InMemoryBackend`).
+
+    Lifecycle: the creating process owns the segments.  ``close()``
+    detaches, ``unlink()`` removes (both idempotent; ``unlink`` implies
+    ``close``); the context manager and a GC/exit finalizer do both, and
+    every path is pid-guarded so forked children can never unlink.
+
+    Compose with :class:`~repro.core.backends.durable.DurableBackend` as
+    ``DurableBackend(SharedMemoryBackend(), ...)`` — durability is the
+    *outer* decorator.  Its logging proxies call straight through to the
+    inner stores, so WAL journaling is unaffected by where the columns
+    live, and the shm-only surface (``capabilities``, ``token_store``,
+    ``layout``) remains reachable through its attribute delegation.
+    """
+
+    #: Advertised via :meth:`capabilities`; the multiprocess executor
+    #: negotiates its ``"shm"`` dispatch mode on this string.
+    TOKEN_COLUMNS = "shm-token-columns"
+
+    def __init__(
+        self,
+        name: str | None = None,
+        *,
+        data_bytes: int = 1 << 18,
+        dir_rows: int = 1 << 12,
+        blocks=None,
+        blacklist=None,
+        profiles=None,
+        matches=None,
+        cooccurrence=None,
+    ) -> None:
+        self.name = name if name is not None else _fresh_prefix()
+        self._creator_pid = os.getpid()
+        self._closed = False
+        token_columns = SharedColumnStore(
+            self.name + "t", data_bytes=data_bytes, dir_rows=dir_rows
+        )
+        try:
+            dict_columns = SharedColumnStore(
+                self.name + "g", data_bytes=data_bytes, dir_rows=dir_rows
+            )
+        except BaseException:
+            token_columns.unlink()
+            raise
+        self._stores = (token_columns, dict_columns)
+        self.token_store = SharedTokenArrayStore(token_columns)
+        self.dictionary = SharedTokenDictionary(dict_columns)
+        self.blocks = blocks if blocks is not None else BlockCollection()
+        self.blacklist = blacklist if blacklist is not None else Blacklist()
+        self.profiles = profiles if profiles is not None else ProfileStore()
+        self.matches = matches if matches is not None else MatchStore()
+        self.cooccurrence = (
+            cooccurrence if cooccurrence is not None else CooccurrenceCounter()
+        )
+        self._finalizer = weakref.finalize(
+            self, _finalize_backend, self._creator_pid, list(self._stores)
+        )
+
+    # -- the StateBackend surface --------------------------------------
+
+    def state(self) -> ERState:
+        return ERState(
+            blocks=self.blocks,
+            blacklist=self.blacklist,
+            profiles=self.profiles,
+            matches=self.matches,
+        )
+
+    # -- the shm surface -----------------------------------------------
+
+    def capabilities(self) -> frozenset[str]:
+        """What this backend can do beyond the protocol (negotiation)."""
+        return frozenset({self.TOKEN_COLUMNS})
+
+    def layout(self) -> dict[str, str]:
+        """Column prefixes a worker needs to attach (picklable, tiny)."""
+        return {
+            "tokens": self.token_store.columns.prefix,
+            "dictionary": self.dictionary.columns.prefix,
+        }
+
+    def segment_names(self) -> list[str]:
+        """All segments this backend created (for leak accounting)."""
+        names: list[str] = []
+        for store in self._stores:
+            names.extend(store.segment_names())
+        return names
+
+    def shm_bytes(self) -> int:
+        """Total bytes of shared memory currently mapped."""
+        return sum(store.shm_bytes() for store in self._stores)
+
+    # -- lifecycle -----------------------------------------------------
+
+    def close(self) -> None:
+        """Detach this process's mappings (does not remove segments)."""
+        if self._closed:
+            return
+        self._closed = True
+        for store in self._stores:
+            store.close()
+
+    def unlink(self) -> None:
+        """Remove the segments from the system.  Creator-only; idempotent."""
+        if os.getpid() != self._creator_pid:
+            return
+        self._finalizer.detach()
+        self.close()
+        for store in self._stores:
+            store.unlink()
+
+    def __enter__(self) -> "SharedMemoryBackend":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.unlink()

@@ -39,7 +39,11 @@ from dataclasses import dataclass
 from typing import Callable
 
 from repro.comparison.kernel import InternedComparator
-from repro.core.backends import InMemoryBackend, StateBackend
+from repro.core.backends import (
+    InMemoryBackend,
+    StateBackend,
+    backend_capabilities,
+)
 from repro.core.backends.durable import CommittingStage
 from repro.core.config import StreamERConfig
 from repro.core.stages import (
@@ -240,6 +244,11 @@ class CompiledPipeline:
     ) -> None:
         self.plan = plan
         self.backend = backend
+        #: Capability strings the backend advertises, resolved once at
+        #: compile time so executors negotiate fast paths (e.g. the
+        #: multiprocess ``"shm"`` dispatch) off the compiled plan rather
+        #: than re-probing the backend.
+        self.capabilities = backend_capabilities(backend)
         self.registry = registry if registry is not None else NULL_REGISTRY
         self.checker = checker if (checker is not None and checker.enabled) else None
         self._stages: dict[str, Callable] = {

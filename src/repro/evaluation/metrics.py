@@ -14,6 +14,7 @@
 from __future__ import annotations
 
 import math
+import sys
 from dataclasses import dataclass
 from typing import Iterable
 
@@ -147,9 +148,11 @@ def throughput_series(
             span = window
         else:
             # Covered span of the final window; degenerate cases (all
-            # completions at one instant) fall back to the full width.
+            # completions at one instant, or a span too small for a
+            # finite count/span division — subnormal floats overflow it
+            # to inf) fall back to the full width.
             span = end - (start + k * window)
-            if span <= 0:
+            if span < sys.float_info.min:
                 span = window
         series.append((start + (k + 1) * window, counts[k] / span))
     return series

@@ -59,8 +59,15 @@ __all__ = [
     "CHECKPOINT_SECONDS",
     "CHECKPOINT_EPOCH",
     "DURABILITY_METRIC_NAMES",
+    "SHM_BYTES",
+    "SHM_SEGMENTS",
+    "SHM_ROWS",
+    "POOL_SPAWNS",
+    "POOL_REUSES",
+    "SHM_METRIC_NAMES",
     "declare_pipeline_metrics",
     "declare_durability_metrics",
+    "declare_shm_metrics",
     "InstrumentedStage",
 ]
 
@@ -108,6 +115,26 @@ DURABILITY_METRIC_NAMES: tuple[str, ...] = (
     CHECKPOINT_EPOCH,
 )
 
+SHM_BYTES = "er_shm_bytes"
+SHM_SEGMENTS = "er_shm_segments"
+SHM_ROWS = "er_shm_rows"
+POOL_SPAWNS = "er_pool_spawns_total"
+POOL_REUSES = "er_pool_reuses_total"
+
+#: The shared-memory / persistent-pool families, declared only when the
+#: multiprocess executor negotiates the ``"shm"`` dispatch mode against a
+#: :class:`~repro.core.backends.shm.SharedMemoryBackend` — like
+#: :data:`DURABILITY_METRIC_NAMES`, kept out of
+#: :data:`PIPELINE_METRIC_NAMES` so plain runs' cross-executor name-set
+#: comparisons stay exact.
+SHM_METRIC_NAMES: tuple[str, ...] = (
+    SHM_BYTES,
+    SHM_SEGMENTS,
+    SHM_ROWS,
+    POOL_SPAWNS,
+    POOL_REUSES,
+)
+
 
 def declare_pipeline_metrics(
     registry: MetricsRegistry, stage_names: Iterable[str]
@@ -147,6 +174,22 @@ def declare_durability_metrics(registry: MetricsRegistry) -> None:
     registry.counter(CHECKPOINTS)
     registry.histogram(CHECKPOINT_SECONDS)
     registry.gauge(CHECKPOINT_EPOCH)
+
+
+def declare_shm_metrics(registry: MetricsRegistry) -> None:
+    """Pre-register the shared-memory/pool families (shm-dispatch runs).
+
+    Idempotent; a no-op on a disabled registry.  Called by
+    :class:`~repro.parallel.mp_framework.MultiprocessERPipeline` when it
+    negotiates the shared-memory dispatch mode.
+    """
+    if not registry.enabled:
+        return
+    registry.gauge(SHM_BYTES)
+    registry.gauge(SHM_SEGMENTS)
+    registry.gauge(SHM_ROWS)
+    registry.counter(POOL_SPAWNS)
+    registry.counter(POOL_REUSES)
 
 
 class InstrumentedStage:

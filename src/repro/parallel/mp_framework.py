@@ -34,6 +34,22 @@ configured comparator:
 ``"profiles"`` (anything else)
     the legacy full-profile pairs, for comparators that inspect
     attributes (e.g. the attribute-weighted or TF-IDF comparators).
+``"shm"`` (interned comparator **and** a backend advertising
+:data:`~repro.core.backends.shm.SharedMemoryBackend.TOKEN_COLUMNS`)
+    nothing but *row numbers*: each entity's packed id array is appended
+    once — ever, not once per chunk — to the backend's shared-memory
+    token column, workers attach to the column at pool spawn, and a chunk
+    crosses the boundary as a flat ``uint64`` row-pair array inside a
+    pickle-protocol-5 out-of-band payload.  Negotiated automatically via
+    :func:`~repro.core.backends.base.backend_capabilities`; scoring is
+    bit-identical to ``"ids"`` (same arrays, same kernel).
+
+The pool itself is *persistent* by default: it is spawned on the first
+:meth:`MultiprocessERPipeline.run` and reused by every subsequent call
+(the streaming increments of dynamic ER), so fork/spawn cost and worker
+shm attachment are paid once per pipeline, not once per increment.  Call
+:meth:`~MultiprocessERPipeline.close` (or use the pipeline as a context
+manager) to release the workers; a GC/exit finalizer covers the rest.
 
 Results are identical to the sequential pipeline (the same comparisons are
 scored; only scoring order varies, and the match store de-duplicates).
@@ -54,8 +70,13 @@ encoded.
 from __future__ import annotations
 
 import multiprocessing as mp
+import pickle
 import time
+import weakref
+from array import array
 from typing import Callable, Iterable, Iterator
+
+import numpy as np
 
 from repro.comparison.comparator import TokenSetComparator
 from repro.comparison.kernel import (
@@ -64,6 +85,11 @@ from repro.comparison.kernel import (
     similarity_from_intersection,
 )
 from repro.core.backends import StateBackend
+from repro.core.backends.shm import (
+    SharedColumnReader,
+    SharedMemoryBackend,
+    decode_packed,
+)
 from repro.core.config import StreamERConfig, SupervisionPolicy
 from repro.core.pipeline import ERResult
 from repro.core.plan import PipelinePlan
@@ -73,8 +99,14 @@ from repro.invariants.checker import InvariantChecker
 from repro.observability.instrument import (
     COMPARISONS_EXECUTED,
     ENTITIES,
+    POOL_REUSES,
+    POOL_SPAWNS,
+    SHM_BYTES,
+    SHM_ROWS,
+    SHM_SEGMENTS,
     STAGE_ITEMS,
     STAGE_SERVICE_SECONDS,
+    declare_shm_metrics,
 )
 from repro.observability.registry import NULL_REGISTRY, MetricsRegistry
 from repro.observability.trace import Tracer
@@ -110,11 +142,51 @@ def dispatch_mode(comparator: object) -> str:
     return "profiles"
 
 
+def negotiate_dispatch_mode(
+    comparator: object, capabilities: frozenset[str] = frozenset()
+) -> str:
+    """The wire format given both the comparator *and* backend abilities.
+
+    The ``"shm"`` upgrade of ``"ids"`` requires the backend to publish
+    token columns in shared memory (capability negotiation, see
+    :func:`~repro.core.backends.base.backend_capabilities`); the other
+    modes are purely comparator-determined.
+    """
+    mode = dispatch_mode(comparator)
+    if mode == "ids" and SharedMemoryBackend.TOKEN_COLUMNS in capabilities:
+        return "shm"
+    return mode
+
+
+def _dumps_oob(obj: object) -> tuple[bytes, list[bytes]]:
+    """Pickle with protocol-5 out-of-band buffers.
+
+    Buffer-bearing payload members (the ``uint64`` row-pair arrays of the
+    ``"shm"`` format) travel as raw buffers next to a small pickle stream
+    instead of being copy-encoded into it.
+    """
+    buffers: list[pickle.PickleBuffer] = []
+    data = pickle.dumps(obj, protocol=5, buffer_callback=buffers.append)
+    return data, [buffer.raw().tobytes() for buffer in buffers]
+
+
+def _loads_oob(payload: tuple[bytes, list[bytes]]) -> object:
+    data, buffers = payload
+    return pickle.loads(data, buffers=buffers)
+
+
 # Worker-process state, installed once per worker by the pool initializer.
 _worker_comparator = None
 _worker_mode: str = "profiles"
 _worker_threshold: float | None = None
 _worker_scorer: Callable | None = None
+_worker_tokens: SharedColumnReader | None = None
+_worker_row_cache: dict = {}
+
+#: Bound on the worker-side row → decoded-array cache.  Entities recur
+#: across chunks (that is the point of shm dispatch), so the cache's hit
+#: rate is high; the bound only guards pathological vocabularies.
+_ROW_CACHE_LIMIT = 1 << 16
 
 
 def _score_profile_pair(pair: tuple[Profile, Profile]) -> float:
@@ -138,16 +210,36 @@ def _score_id_pair(item: tuple) -> float:
     )
 
 
+def _worker_row_ids(row: int) -> array:
+    """Decode (and cache) the packed id array behind a shared-column row."""
+    ids = _worker_row_cache.get(row)
+    if ids is None:
+        ids = decode_packed(_worker_tokens.record(row))  # type: ignore[union-attr]
+        if len(_worker_row_cache) >= _ROW_CACHE_LIMIT:
+            _worker_row_cache.clear()
+        _worker_row_cache[row] = ids
+    return ids
+
+
 def _init_worker(
     comparator: object,
     fault_spec: FaultSpec | None = None,
     mode: str = "profiles",
+    shm_layout: dict | None = None,
 ) -> None:
     global _worker_comparator, _worker_mode, _worker_threshold, _worker_scorer
+    global _worker_tokens, _worker_row_cache
     _worker_comparator = comparator
     _worker_mode = mode
-    _worker_threshold = comparator.threshold if mode == "ids" else None  # type: ignore[attr-defined]
-    if mode == "ids":
+    if mode == "shm":
+        # Attach to the parent's shared token column exactly once, here;
+        # every chunk afterwards carries row numbers, not token data.
+        _worker_tokens = SharedColumnReader(shm_layout["tokens"])  # type: ignore[index]
+        _worker_row_cache = {}
+    _worker_threshold = (
+        comparator.threshold if mode in ("ids", "shm") else None  # type: ignore[attr-defined]
+    )
+    if mode in ("ids", "shm"):
         base: Callable = _score_id_pair
     elif mode == "tokens":
         base = _score_token_pair
@@ -186,6 +278,8 @@ def _score_chunk(payload: object) -> list[tuple[float | None, str | None]]:
             except Exception as exc:
                 out.append((None, repr(exc)))
         return out
+    if _worker_mode == "shm":
+        return _score_shm_chunk(payload, scorer)
     ids_table, str_table, pairs = payload  # type: ignore[misc]
     thr = _worker_threshold
     for i, j in pairs:
@@ -204,6 +298,57 @@ def _score_chunk(payload: object) -> list[tuple[float | None, str | None]]:
         else:
             out.append((score, None))
     return out
+
+
+def _score_shm_chunk(
+    payload: object, scorer: Callable
+) -> list[tuple[float | None, str | None]]:
+    """Score one ``"shm"``-format micro-batch against the shared columns.
+
+    The payload names no token data: shared-column row pairs for interned
+    entities (a flat ``uint64`` array), plus a per-position string-set
+    fallback for entities without interned ids.  ``keys`` (the eid pairs)
+    ride along only when a fault spec is active, so the injector's
+    decisions stay keyed by the canonical pair — identical to every other
+    dispatch format.
+    """
+    count, rows, keys, fallback, str_table = _loads_oob(payload)  # type: ignore[arg-type]
+    thr = _worker_threshold
+    fallback_at = {position: (i, j) for position, i, j in fallback}
+    out: list[tuple[float | None, str | None]] = []
+    cursor = 0
+    for position in range(count):
+        pair = fallback_at.get(position)
+        if pair is not None:
+            i, j = pair
+            a: object = str_table[i]
+            b: object = str_table[j]
+        else:
+            row_a = int(rows[2 * cursor])
+            row_b = int(rows[2 * cursor + 1])
+            if keys is not None:
+                i, j = keys[cursor]
+            else:
+                i, j = row_a, row_b
+            cursor += 1
+            a = _worker_row_ids(row_a)
+            b = _worker_row_ids(row_b)
+        try:
+            score = scorer((i, j, a, b))
+        except Exception as exc:
+            out.append((None, repr(exc)))
+            continue
+        if thr is not None and score < thr:
+            out.append((None, None))
+        else:
+            out.append((score, None))
+    return out
+
+
+def _terminate_pool(pool) -> None:
+    """Finalizer hook: module-level so ``weakref.finalize`` stays cycle-free."""
+    pool.terminate()
+    pool.join()
 
 
 class MultiprocessERPipeline:
@@ -252,10 +397,20 @@ class MultiprocessERPipeline:
         stages run in the pool's task-handler thread, so stage-scope checks
         record only; state- and run-scope invariants run at the end of
         :meth:`run`, where a raise-mode checker raises.
+    persistent_pool:
+        Keep the worker pool alive between :meth:`run` calls (default).
+        This is what makes incremental/streaming use cheap: workers are
+        forked (and, in ``"shm"`` mode, attached to the shared columns)
+        once per pipeline, then every increment reuses them.  With
+        ``False``, the pool is torn down at the end of each run (the old
+        behaviour).  Either way, :meth:`close` / the context manager
+        releases the workers, and a finalizer covers GC/interpreter exit.
 
     After a run, ``pairs_prefiltered`` counts the comparisons the parent
     dropped by the length prefilter (never dispatched) and
-    ``pairs_dispatched`` the comparisons actually shipped to the pool.
+    ``pairs_dispatched`` the comparisons actually shipped to the pool;
+    ``pool_spawns`` / ``pool_reuses`` count pool creations vs. runs that
+    reused a live pool.
     """
 
     def __init__(
@@ -270,6 +425,7 @@ class MultiprocessERPipeline:
         registry: MetricsRegistry | None = None,
         tracer: Tracer | None = None,
         checker: InvariantChecker | None = None,
+        persistent_pool: bool = True,
     ) -> None:
         if workers < 1:
             raise ConfigurationError("workers must be >= 1")
@@ -312,20 +468,42 @@ class MultiprocessERPipeline:
             if name != "co"
         }
         comparator = self.config.comparator
-        self.dispatch_mode = dispatch_mode(comparator)
-        self._threshold: float | None = (
-            comparator.threshold if self.dispatch_mode == "ids" else None
+        self.dispatch_mode = negotiate_dispatch_mode(
+            comparator, self.compiled.capabilities
         )
+        compact = self.dispatch_mode in ("ids", "shm")
+        self._threshold: float | None = comparator.threshold if compact else None
         self._prefilter = bool(
-            self.dispatch_mode == "ids"
+            compact
             and comparator.prefilter
             and self._threshold is not None
             and self._threshold > 0.0
         )
         self.pairs_prefiltered = 0
         self.pairs_dispatched = 0
+        # ``token_store`` / ``layout`` reach through decorating backends
+        # (DurableBackend) via their attribute delegation.
+        self._token_store = (
+            self.backend.token_store if self.dispatch_mode == "shm" else None
+        )
+        self._shm_layout = (
+            self.backend.layout() if self.dispatch_mode == "shm" else None
+        )
+        self.persistent_pool = persistent_pool
+        self.pool_spawns = 0
+        self.pool_reuses = 0
+        self._pool = None
+        self._pool_finalizer: weakref.finalize | None = None
+        self._ctx = mp.get_context(
+            "fork" if "fork" in mp.get_all_start_methods() else "spawn"
+        )
+        if self.registry.enabled and self.dispatch_mode == "shm":
+            declare_shm_metrics(self.registry)
         faults = dict(faults) if faults else {}
         self._worker_fault_spec = faults.pop("co", None)
+        # Faults are keyed by the canonical pair of *entity ids*; the shm
+        # format ships rows, so eid keys ride along only when needed.
+        self._ship_pair_keys = self._worker_fault_spec is not None
         unknown = [name for name in faults if name not in self._fns]
         if unknown:
             raise ConfigurationError(
@@ -432,6 +610,8 @@ class MultiprocessERPipeline:
         self.pairs_dispatched += len(chunk)
         if mode == "profiles":
             return [(c.left, c.right) for c in chunk]
+        if mode == "shm":
+            return self._encode_shm_chunk(chunk)
         ids_table: dict = {}
         str_table: dict = {}
         pairs: list[tuple[EntityId, EntityId]] = []
@@ -450,6 +630,111 @@ class MultiprocessERPipeline:
                     str_table[ri] = right.tokens
             pairs.append((li, ri))
         return (ids_table, str_table, pairs)
+
+    def _encode_shm_chunk(self, chunk: list[Comparison]) -> object:
+        """Rows, not data: the ``"shm"`` wire payload for one chunk.
+
+        Each interned entity's packed id array is appended to the shared
+        token column on its first appearance *ever* (the store memoizes
+        eid → row; a changed token set gets a fresh row), so the payload
+        is a flat ``uint64`` row-pair array plus a per-position fallback
+        for entities without interned ids — shipped via protocol-5
+        out-of-band pickling.
+        """
+        rows = array("Q")
+        keys: list[tuple[EntityId, EntityId]] | None = (
+            [] if self._ship_pair_keys else None
+        )
+        fallback: list[tuple[int, EntityId, EntityId]] = []
+        str_table: dict = {}
+        row_for = self._token_store.row_for  # type: ignore[union-attr]
+        for position, c in enumerate(chunk):
+            left, right = c.left, c.right
+            if left.token_ids is not None and right.token_ids is not None:
+                rows.append(row_for(left.eid, left.token_ids))
+                rows.append(row_for(right.eid, right.token_ids))
+                if keys is not None:
+                    keys.append((left.eid, right.eid))
+            else:
+                li, ri = left.eid, right.eid
+                if li not in str_table:
+                    str_table[li] = left.tokens
+                if ri not in str_table:
+                    str_table[ri] = right.tokens
+                fallback.append((position, li, ri))
+        return _dumps_oob(
+            (
+                len(chunk),
+                np.frombuffer(rows, dtype=np.uint64),
+                keys,
+                fallback,
+                str_table,
+            )
+        )
+
+    # -- pool lifecycle ------------------------------------------------
+
+    def _acquire_pool(self):
+        """The live worker pool, spawning one on first use (or after close)."""
+        if self._pool is not None:
+            self.pool_reuses += 1
+            if self.registry.enabled and self.dispatch_mode == "shm":
+                self.registry.counter(POOL_REUSES).inc()
+            return self._pool
+        self._pool = self._ctx.Pool(
+            processes=self.workers,
+            initializer=_init_worker,
+            initargs=(
+                self.config.comparator,
+                self._worker_fault_spec,
+                self.dispatch_mode,
+                self._shm_layout,
+            ),
+        )
+        self.pool_spawns += 1
+        if self.registry.enabled and self.dispatch_mode == "shm":
+            self.registry.counter(POOL_SPAWNS).inc()
+        # GC / interpreter exit must not strand worker processes; detach()d
+        # by the graceful shutdown paths.
+        self._pool_finalizer = weakref.finalize(
+            self, _terminate_pool, self._pool
+        )
+        return self._pool
+
+    def _drop_pool_finalizer(self) -> None:
+        if self._pool_finalizer is not None:
+            self._pool_finalizer.detach()
+            self._pool_finalizer = None
+
+    def _shutdown_pool(self) -> None:
+        """Graceful release: workers finish queued tasks, then exit."""
+        pool, self._pool = self._pool, None
+        if pool is None:
+            return
+        self._drop_pool_finalizer()
+        pool.close()
+        pool.join()
+
+    def _discard_pool(self) -> None:
+        """Hard release after a failed run (in-flight tasks are dropped)."""
+        pool, self._pool = self._pool, None
+        if pool is None:
+            return
+        self._drop_pool_finalizer()
+        pool.terminate()
+        pool.join()
+
+    def close(self) -> None:
+        """Release the worker pool.  The backend is caller-owned state and
+        is *not* touched (a shm backend keeps serving other executors or a
+        later pipeline; unlink it via its own lifecycle)."""
+        self._shutdown_pool()
+
+    def __enter__(self) -> "MultiprocessERPipeline":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
 
     def run(self, entities: Iterable[EntityDescription]) -> ERResult:
         """Process a finite input end to end; returns the usual summary."""
@@ -473,12 +758,8 @@ class MultiprocessERPipeline:
                     entities_metric.inc()
                 yield entity
 
-        ctx = mp.get_context("fork" if "fork" in mp.get_all_start_methods() else "spawn")
-        with ctx.Pool(
-            processes=self.workers,
-            initializer=_init_worker,
-            initargs=(self.config.comparator, self._worker_fault_spec, self.dispatch_mode),
-        ) as pool:
+        pool = self._acquire_pool()
+        try:
             chunk_stream = self._chunks(counted(entities))
             pair_chunks: list[list[Comparison]] = []
 
@@ -523,6 +804,19 @@ class MultiprocessERPipeline:
                 )
                 if ok:
                     matches.extend(found)
+        except BaseException:
+            # A mid-run failure can leave tasks queued on the pool; a
+            # reused pool would interleave their late results into the
+            # next run, so discard the workers and respawn on next use.
+            self._discard_pool()
+            raise
+        if not self.persistent_pool:
+            self._shutdown_pool()
+        if metrics_on and self.dispatch_mode == "shm":
+            backend = self.backend
+            self.registry.gauge(SHM_BYTES).set(backend.shm_bytes())
+            self.registry.gauge(SHM_SEGMENTS).set(len(backend.segment_names()))
+            self.registry.gauge(SHM_ROWS).set(len(self._token_store))  # type: ignore[arg-type]
 
         result = ERResult(
             entities_processed=count_in[0],

@@ -1,7 +1,9 @@
 """Streaming evaluation harness: sources and latency/throughput runners."""
 
 from repro.streaming.runner import (
+    IncrementReport,
     LiveStreamRunner,
+    MultiprocessStreamRunner,
     SimulatedStreamRunner,
     StreamRunReport,
 )
@@ -14,6 +16,8 @@ __all__ = [
     "RateLimitedSource",
     "arrival_schedule",
     "LiveStreamRunner",
+    "MultiprocessStreamRunner",
+    "IncrementReport",
     "SimulatedStreamRunner",
     "StreamRunReport",
     "SlidingWindowERPipeline",

@@ -1,11 +1,16 @@
 """Streaming evaluation harness (§V-D).
 
 Measures per-entity latency and output throughput of the framework under
-a rate-controlled source.  Two drivers:
+a rate-controlled source.  Three drivers:
 
 * :class:`LiveStreamRunner` — real wall-clock run of the thread framework
   behind a :class:`~repro.streaming.source.RateLimitedSource`; suitable for
   modest rates on a real box.
+* :class:`MultiprocessStreamRunner` — drives *one* persistent
+  :class:`~repro.parallel.mp_framework.MultiprocessERPipeline` across a
+  sequence of increments (the dynamic-data scenario): the worker pool and
+  the shared-memory token columns outlive every increment, so per-increment
+  cost is pure scoring, not fork + re-serialization.
 * :class:`SimulatedStreamRunner` — calibrates a
   :class:`~repro.parallel.simulator.ServiceModel` from an instrumented
   sequential run over sample data, then drives the discrete-event
@@ -15,6 +20,7 @@ a rate-controlled source.  Two drivers:
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Iterable, Sequence
 
@@ -170,6 +176,101 @@ class LiveStreamRunner:
             latencies=result.latencies,
             throughput=[(result.elapsed_seconds, mean_rate)],
         )
+
+
+@dataclass
+class IncrementReport:
+    """One increment's outcome under :class:`MultiprocessStreamRunner`."""
+
+    entities: int
+    matches_found: int
+    elapsed_seconds: float
+    pool_reused: bool
+
+
+class MultiprocessStreamRunner:
+    """Incremental multiprocess ER with state and workers kept warm.
+
+    The dynamic-data loop the paper targets: increments arrive over time
+    and each must be resolved against *all* state accumulated so far.  The
+    runner owns one :class:`~repro.core.backends.shm.SharedMemoryBackend`
+    (so token columns persist and the ``"shm"`` dispatch mode is
+    negotiated) and one persistent
+    :class:`~repro.parallel.mp_framework.MultiprocessERPipeline` — the
+    worker pool spawns on the first increment and is reused by every
+    later one.  Use as a context manager (or call :meth:`close`) to
+    release the pool and unlink the shared segments.
+
+    With ``backend=None`` a fresh shared-memory backend is created and
+    owned (closed + unlinked) by the runner; pass an explicit backend —
+    e.g. ``DurableBackend(SharedMemoryBackend(), ...)`` for a durable
+    incremental run — to manage its lifecycle yourself.
+    """
+
+    def __init__(
+        self,
+        config: StreamERConfig,
+        workers: int = 2,
+        chunk_size: int = 256,
+        backend=None,
+        registry: MetricsRegistry | None = None,
+        metrics_path: str | None = None,
+    ) -> None:
+        from repro.core.backends.shm import SharedMemoryBackend
+        from repro.parallel.mp_framework import MultiprocessERPipeline
+
+        self.config = config
+        self._owns_backend = backend is None
+        self.backend = backend if backend is not None else SharedMemoryBackend()
+        self.registry = registry
+        self.metrics_path = metrics_path
+        self.pipeline = MultiprocessERPipeline(
+            config,
+            workers=workers,
+            chunk_size=chunk_size,
+            backend=self.backend,
+            registry=registry,
+            persistent_pool=True,
+        )
+        self.increments: list[IncrementReport] = []
+        self._closed = False
+
+    def process_increment(
+        self, entities: Iterable[EntityDescription]
+    ) -> IncrementReport:
+        """Resolve one increment against all accumulated state."""
+        reused_before = self.pipeline.pool_reuses
+        start = time.perf_counter()
+        result = self.pipeline.run(entities)
+        report = IncrementReport(
+            entities=result.entities_processed,
+            matches_found=len(result.matches),
+            elapsed_seconds=time.perf_counter() - start,
+            pool_reused=self.pipeline.pool_reuses > reused_before,
+        )
+        self.increments.append(report)
+        return report
+
+    def match_pairs(self) -> set:
+        """All matches in the accumulated state, across every increment."""
+        return self.backend.matches.pairs()
+
+    def close(self) -> None:
+        """Release the worker pool; unlink the backend if we created it."""
+        if self._closed:
+            return
+        self._closed = True
+        self.pipeline.close()
+        if self.registry is not None and self.metrics_path is not None:
+            write_json_snapshot(self.registry, self.metrics_path)
+        if self._owns_backend:
+            self.backend.unlink()
+
+    def __enter__(self) -> "MultiprocessStreamRunner":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
 
 
 class SimulatedStreamRunner:

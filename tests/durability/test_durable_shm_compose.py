@@ -1,0 +1,149 @@
+"""Durability over shared memory: ``DurableBackend(SharedMemoryBackend())``.
+
+Durability is the *outer* decorator — its logging proxies journal every
+mutation and call straight through to the inner stores, so where the
+token columns physically live is invisible to the WAL.  These tests pin
+that composition: the shm capability surface stays reachable through the
+decorator (so the multiprocess executor still negotiates ``"shm"``
+dispatch), journaling is unaffected, a crashed run resumes to the exact
+match set, and the shared segments never leak — crash included.
+
+Recovery rebuilds into an :class:`~repro.core.backends.InMemoryBackend`
+(the WAL is the source of truth, not the segments, which die with the
+crashed process); the resumed run may continue on plain memory or on a
+fresh shm backend — state content, not representation, is what resumes.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.classification import OracleClassifier
+from repro.core import StreamERConfig, StreamERPipeline
+from repro.core.backends import (
+    SharedMemoryBackend,
+    active_shm_segments,
+    backend_capabilities,
+)
+from repro.core.backends.durable import DurabilityConfig, DurableBackend
+from repro.datasets import DatasetSpec, generate
+from repro.durability.recovery import resume_pipeline
+from repro.errors import SimulatedCrash
+from repro.parallel import MultiprocessERPipeline
+from repro.parallel.faults import CrashPoint
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return generate(
+        DatasetSpec(
+            name="durable-shm", kind="dirty", size=80, matches=55,
+            avg_attributes=4.0, heterogeneity=0.2, vocab_rare=2000, seed=11,
+        )
+    )
+
+
+def interned_config(dataset) -> StreamERConfig:
+    return StreamERConfig.interned(
+        alpha=StreamERConfig.alpha_for(len(dataset), 0.05),
+        beta=0.05,
+        clean_clean=dataset.clean_clean,
+        classifier=OracleClassifier.from_pairs(dataset.ground_truth),
+    )
+
+
+def match_set(backend) -> set:
+    return {(m.key(), m.similarity) for m in backend.matches.matches()}
+
+
+class TestComposition:
+    def test_capabilities_reach_through_the_decorator(self, dataset, tmp_path):
+        with SharedMemoryBackend() as inner:
+            durable = DurableBackend(
+                inner, DurabilityConfig(wal_dir=str(tmp_path / "wal"))
+            )
+            assert SharedMemoryBackend.TOKEN_COLUMNS in backend_capabilities(durable)
+            assert durable.layout() == inner.layout()
+            assert durable.shm_bytes() == inner.shm_bytes()
+            durable.close()
+
+    def test_sequential_journal_over_shm(self, dataset, tmp_path):
+        plain = StreamERPipeline(interned_config(dataset), instrument=False)
+        plain.process_many(dataset.stream())
+
+        inner = SharedMemoryBackend()
+        prefix = inner.name
+        durable = StreamERPipeline(
+            interned_config(dataset),
+            instrument=False,
+            backend=inner,
+            wal_dir=str(tmp_path / "wal"),
+            checkpoint_every=13,
+        )
+        durable.process_many(dataset.stream())
+        durable.close()
+        assert match_set(durable.backend) == match_set(plain.backend)
+        assert durable.backend.wal_records_seen > 0
+        # The journaled dictionary proxies to the shared one: every token
+        # the run interned is decodable from the shm column.
+        assert len(durable.backend.dictionary) == len(inner.dictionary)
+        inner.unlink()
+        assert active_shm_segments(prefix) == []
+
+    def test_multiprocess_still_negotiates_shm_dispatch(self, dataset, tmp_path):
+        reference = MultiprocessERPipeline(
+            interned_config(dataset), workers=2, chunk_size=32
+        )
+        reference.run(dataset.stream())
+        expected = match_set(reference.backend)
+        reference.close()
+
+        with SharedMemoryBackend() as inner:
+            durable = DurableBackend(
+                inner, DurabilityConfig(wal_dir=str(tmp_path / "wal"))
+            )
+            mp = MultiprocessERPipeline(
+                interned_config(dataset), workers=2, chunk_size=32, backend=durable
+            )
+            result = mp.run(dataset.stream())
+            assert mp.dispatch_mode == "shm"
+            assert match_set(durable) == expected
+            assert result.items_failed == 0
+            assert durable.wal_records_seen > 0
+            mp.close()
+            durable.close()
+
+
+class TestCrashResume:
+    def test_resume_equals_uninterrupted(self, dataset, tmp_path):
+        entities = list(dataset.stream())
+        uninterrupted = StreamERPipeline(interned_config(dataset), instrument=False)
+        uninterrupted.process_many(entities)
+        expected = match_set(uninterrupted.backend)
+
+        inner = SharedMemoryBackend()
+        prefix = inner.name
+        wal_dir = tmp_path / "crash"
+        crashing = StreamERPipeline(
+            interned_config(dataset),
+            instrument=False,
+            backend=inner,
+            wal_dir=str(wal_dir),
+            checkpoint_every=13,
+            crash_point=CrashPoint(at_record=120),
+        )
+        with pytest.raises(SimulatedCrash):
+            crashing.process_many(entities)
+        # The crashed creator's segments are reclaimed; the WAL is the
+        # durable copy.
+        inner.unlink()
+        assert active_shm_segments(prefix) == []
+
+        resumed = resume_pipeline(
+            interned_config(dataset), str(wal_dir), instrument=False
+        )
+        skip = resumed.entities_processed
+        assert 0 < skip < len(entities)
+        resumed.process_many(entities[skip:])
+        resumed.close()
+        assert match_set(resumed.backend) == expected

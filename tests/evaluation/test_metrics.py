@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import sys
+
 import pytest
 from hypothesis import given
 from hypothesis import strategies as st
@@ -133,7 +135,7 @@ def _covered_spans(times: list[float], window: float, n_windows: int) -> list[fl
     start, end = min(times), max(times)
     spans = [window] * n_windows
     final = end - (start + (n_windows - 1) * window)
-    spans[-1] = final if final > 0 else window
+    spans[-1] = final if final >= sys.float_info.min else window
     return spans
 
 

@@ -24,7 +24,11 @@ import pytest
 
 from repro.classification import OracleClassifier
 from repro.core import StreamERConfig, StreamERPipeline, SupervisionPolicy
-from repro.core.backends import ShardedBackend
+from repro.core.backends import (
+    ShardedBackend,
+    SharedMemoryBackend,
+    active_shm_segments,
+)
 from repro.core.plan import STAGE_ORDER
 from repro.datasets import DatasetSpec, generate
 from repro.observability import (
@@ -541,3 +545,156 @@ class TestObservabilityAcrossExecutors:
         result = parallel.run(seeded_dirty.stream(), timeout=RUN_TIMEOUT)
         assert result.items_failed > 0
         assert registry.value("er_dead_letters_total", stage="dr") == result.items_failed
+
+
+def interned_config_for(dataset) -> StreamERConfig:
+    return StreamERConfig.interned(
+        alpha=StreamERConfig.alpha_for(len(dataset), 0.05),
+        beta=0.05,
+        clean_clean=dataset.clean_clean,
+        classifier=OracleClassifier.from_pairs(dataset.ground_truth),
+    )
+
+
+class TestSharedMemoryBackendEquivalence:
+    """Shared-memory token columns are a pure representation change: every
+    executor must produce bit-identical match sets to the in-memory
+    backend — on dirty and clean-clean data, with the interned comparator
+    (which engages the ``"shm"`` dispatch mode in the multiprocess
+    executor) and with faults.  Every test also asserts segment hygiene:
+    the run leaves nothing behind in ``/dev/shm``."""
+
+    def _interned_expected(self, dataset) -> set:
+        pipeline = StreamERPipeline(interned_config_for(dataset), instrument=False)
+        pipeline.process_many(dataset.stream())
+        return pipeline.cl.matches.pairs()
+
+    def test_sequential_dirty(self, seeded_dirty):
+        expected = self._interned_expected(seeded_dirty)
+        with SharedMemoryBackend() as backend:
+            prefix = backend.name
+            shm = StreamERPipeline(
+                interned_config_for(seeded_dirty), instrument=False, backend=backend
+            )
+            shm.process_many(seeded_dirty.stream())
+            assert shm.cl.matches.pairs() == expected
+        assert active_shm_segments(prefix) == []
+
+    def test_sequential_clean_clean(self, seeded_clean):
+        expected = self._interned_expected(seeded_clean)
+        with SharedMemoryBackend() as backend:
+            shm = StreamERPipeline(
+                interned_config_for(seeded_clean), instrument=False, backend=backend
+            )
+            shm.process_many(seeded_clean.stream())
+            assert shm.cl.matches.pairs() == expected
+
+    @pytest.mark.parametrize("micro_batch_size", [1, 25])
+    def test_thread_framework_dirty(self, seeded_dirty, micro_batch_size):
+        expected = self._interned_expected(seeded_dirty)
+        with SharedMemoryBackend() as backend:
+            parallel = ParallelERPipeline(
+                interned_config_for(seeded_dirty),
+                processes=12,
+                micro_batch_size=micro_batch_size,
+                backend=backend,
+            )
+            result = parallel.run(seeded_dirty.stream(), timeout=RUN_TIMEOUT)
+            assert result.match_pairs == expected
+            assert result.items_failed == 0
+
+    def test_thread_framework_clean_clean(self, seeded_clean):
+        expected = self._interned_expected(seeded_clean)
+        with SharedMemoryBackend() as backend:
+            parallel = ParallelERPipeline(
+                interned_config_for(seeded_clean), processes=12, backend=backend
+            )
+            result = parallel.run(seeded_clean.stream(), timeout=RUN_TIMEOUT)
+            assert result.match_pairs == expected
+
+    def test_multiprocess_shm_dispatch_dirty(self, seeded_dirty):
+        expected = self._interned_expected(seeded_dirty)
+        with SharedMemoryBackend() as backend:
+            prefix = backend.name
+            mp = MultiprocessERPipeline(
+                interned_config_for(seeded_dirty),
+                workers=2,
+                chunk_size=64,
+                backend=backend,
+            )
+            result = mp.run(seeded_dirty.stream())
+            assert mp.dispatch_mode == "shm"
+            assert result.match_pairs == expected
+            assert result.items_failed == 0
+            mp.close()
+        assert active_shm_segments(prefix) == []
+
+    def test_multiprocess_shm_dispatch_clean_clean(self, seeded_clean):
+        expected = self._interned_expected(seeded_clean)
+        with SharedMemoryBackend() as backend:
+            mp = MultiprocessERPipeline(
+                interned_config_for(seeded_clean),
+                workers=2,
+                chunk_size=64,
+                backend=backend,
+            )
+            result = mp.run(seeded_clean.stream())
+            assert mp.dispatch_mode == "shm"
+            assert result.match_pairs == expected
+            mp.close()
+
+    def test_multiprocess_plain_comparator_falls_back(self, seeded_dirty):
+        """Without the interned comparator the backend still works — the
+        executor just negotiates a non-shm dispatch mode."""
+        expected = sequential_pairs(seeded_dirty)
+        with SharedMemoryBackend() as backend:
+            mp = MultiprocessERPipeline(
+                config_for(seeded_dirty), workers=2, chunk_size=64, backend=backend
+            )
+            result = mp.run(seeded_dirty.stream())
+            assert mp.dispatch_mode != "shm"
+            assert result.match_pairs == expected
+            mp.close()
+
+    def test_multiprocess_fault_parity(self, seeded_dirty):
+        """Seeded worker faults fire on the same pairs under shm dispatch
+        as under id-array dispatch: retries and matches are identical."""
+        faults = {"co": FaultSpec(probability=0.3, seed=17)}
+        reference = MultiprocessERPipeline(
+            interned_config_for(seeded_dirty), workers=2, chunk_size=64,
+            faults=faults,
+        )
+        ref_result = reference.run(seeded_dirty.stream())
+        assert ref_result.retries > 0
+        reference.close()
+
+        with SharedMemoryBackend() as backend:
+            mp = MultiprocessERPipeline(
+                interned_config_for(seeded_dirty), workers=2, chunk_size=64,
+                faults=faults, backend=backend,
+            )
+            result = mp.run(seeded_dirty.stream())
+            assert mp.dispatch_mode == "shm"
+            assert result.retries == ref_result.retries
+            assert result.match_pairs == ref_result.match_pairs
+            mp.close()
+
+    def test_persistent_pool_across_increments(self, seeded_dirty):
+        """Increment-by-increment processing with one warm pool equals the
+        one-shot sequential run; the pool spawns exactly once."""
+        expected = self._interned_expected(seeded_dirty)
+        entities = list(seeded_dirty.stream())
+        increments = [entities[i : i + 50] for i in range(0, len(entities), 50)]
+        with SharedMemoryBackend() as backend:
+            mp = MultiprocessERPipeline(
+                interned_config_for(seeded_dirty),
+                workers=2,
+                chunk_size=64,
+                backend=backend,
+            )
+            for increment in increments:
+                mp.run(increment)
+            assert backend.matches.pairs() == expected
+            assert mp.pool_spawns == 1
+            assert mp.pool_reuses == len(increments) - 1
+            mp.close()

@@ -226,3 +226,129 @@ def sequential_oracle_pairs(ds):
     sequential = StreamERPipeline(config_for(ds), instrument=False)
     sequential.process_many(ds.stream())
     return sequential.cl.matches.pairs()
+
+
+class TestShmNegotiation:
+    """The ``"shm"`` dispatch mode exists only when comparator *and*
+    backend both support it; everything else keeps its legacy format."""
+
+    def test_negotiation_requires_both_sides(self):
+        from repro.comparison import InternedComparator, TokenSetComparator
+        from repro.core.backends import SharedMemoryBackend
+        from repro.parallel.mp_framework import negotiate_dispatch_mode
+
+        shm_caps = frozenset({SharedMemoryBackend.TOKEN_COLUMNS})
+        assert negotiate_dispatch_mode(InternedComparator(), shm_caps) == "shm"
+        assert negotiate_dispatch_mode(InternedComparator(), frozenset()) == "ids"
+        assert negotiate_dispatch_mode(TokenSetComparator(), shm_caps) == "tokens"
+        assert negotiate_dispatch_mode(TokenSetComparator()) == "tokens"
+
+    def test_pipeline_negotiates_from_backend(self, tiny_dirty_dataset):
+        from repro.core.backends import SharedMemoryBackend
+
+        ds = tiny_dirty_dataset
+        config = StreamERConfig.interned(
+            alpha=StreamERConfig.alpha_for(len(ds), 0.05),
+            beta=0.05,
+            clean_clean=ds.clean_clean,
+            classifier=ThresholdClassifier(0.5),
+        )
+        with SharedMemoryBackend() as backend:
+            mp_pipeline = MultiprocessERPipeline(
+                config, workers=2, chunk_size=64, backend=backend
+            )
+            assert mp_pipeline.dispatch_mode == "shm"
+            mp_pipeline.close()
+        # Same config, default backend: no capability, no shm mode.
+        fallback = MultiprocessERPipeline(config, workers=2, chunk_size=64)
+        assert fallback.dispatch_mode == "ids"
+        fallback.close()
+
+
+class TestPersistentPool:
+    def _config(self, ds):
+        return StreamERConfig.interned(
+            alpha=StreamERConfig.alpha_for(len(ds), 0.05),
+            beta=0.05,
+            clean_clean=ds.clean_clean,
+            classifier=ThresholdClassifier(0.5),
+        )
+
+    def test_pool_reused_across_runs(self, tiny_dirty_dataset):
+        ds = tiny_dirty_dataset
+        entities = list(ds.stream())
+        mp_pipeline = MultiprocessERPipeline(self._config(ds), workers=2, chunk_size=64)
+        mp_pipeline.run(entities[:100])
+        mp_pipeline.run(entities[100:200])
+        mp_pipeline.run(entities[200:])
+        assert mp_pipeline.pool_spawns == 1
+        assert mp_pipeline.pool_reuses == 2
+        mp_pipeline.close()
+
+    def test_non_persistent_pool_respawns(self, tiny_dirty_dataset):
+        ds = tiny_dirty_dataset
+        entities = list(ds.stream())
+        mp_pipeline = MultiprocessERPipeline(
+            self._config(ds), workers=2, chunk_size=64, persistent_pool=False
+        )
+        mp_pipeline.run(entities[:100])
+        mp_pipeline.run(entities[100:200])
+        assert mp_pipeline.pool_spawns == 2
+        assert mp_pipeline.pool_reuses == 0
+        mp_pipeline.close()
+
+    def test_close_is_idempotent_and_context_manager(self, tiny_dirty_dataset):
+        ds = tiny_dirty_dataset
+        with MultiprocessERPipeline(
+            self._config(ds), workers=2, chunk_size=64
+        ) as mp_pipeline:
+            mp_pipeline.run(ds.stream())
+        mp_pipeline.close()
+        mp_pipeline.close()
+
+    def test_incremental_equals_one_shot(self, tiny_dirty_dataset):
+        ds = tiny_dirty_dataset
+        entities = list(ds.stream())
+        one_shot = StreamERPipeline(config_for(ds, threshold=0.5), instrument=False)
+        one_shot.process_many(entities)
+
+        mp_pipeline = MultiprocessERPipeline(self._config(ds), workers=2, chunk_size=64)
+        for i in range(0, len(entities), 75):
+            mp_pipeline.run(entities[i : i + 75])
+        assert mp_pipeline.backend.matches.pairs() == one_shot.cl.matches.pairs()
+        mp_pipeline.close()
+
+
+class TestShmMetrics:
+    def test_shm_gauges_and_pool_counters(self, tiny_dirty_dataset):
+        from repro.core.backends import SharedMemoryBackend
+        from repro.observability import MetricsRegistry
+        from repro.observability.instrument import (
+            POOL_REUSES,
+            POOL_SPAWNS,
+            SHM_BYTES,
+            SHM_ROWS,
+            SHM_SEGMENTS,
+        )
+
+        ds = tiny_dirty_dataset
+        config = StreamERConfig.interned(
+            alpha=StreamERConfig.alpha_for(len(ds), 0.05),
+            beta=0.05,
+            clean_clean=ds.clean_clean,
+            classifier=ThresholdClassifier(0.5),
+        )
+        registry = MetricsRegistry()
+        entities = list(ds.stream())
+        with SharedMemoryBackend() as backend:
+            mp_pipeline = MultiprocessERPipeline(
+                config, workers=2, chunk_size=64, backend=backend, registry=registry
+            )
+            mp_pipeline.run(entities[:150])
+            mp_pipeline.run(entities[150:])
+            assert registry.value(SHM_BYTES) == backend.shm_bytes()
+            assert registry.value(SHM_SEGMENTS) == len(backend.segment_names())
+            assert registry.value(SHM_ROWS) > 0
+            assert registry.value(POOL_SPAWNS) == 1
+            assert registry.value(POOL_REUSES) == 1
+            mp_pipeline.close()
