@@ -1,0 +1,287 @@
+"""Block-partitioned dispatch vs chunked shm dispatch vs sequential.
+
+The tentpole claim of partitioned dispatch is that the chunked path's
+residual parent-side work — candidate-pair chunking, per-chunk row-table
+encoding, and the merge of every *scored* pair — disappears when workers
+own disjoint blocking-key ranges and run candidate generation plus
+``f_cl`` rescoring locally.  The parent then ships one partition
+descriptor per worker and merges only *matches* and dead letters, so the
+serialization volume scales with the answer, not with the comparison
+workload.  This benchmark stages the same incremental dynamic-data
+scenario three ways on one generated dataset:
+
+* ``sequential`` — interned sequential pipeline over all increments (the
+  bar to beat, repeated and min-timed);
+* ``mp_chunked`` — shared-memory backend, persistent pool, row-number
+  chunk dispatch (``partitioned=False``: the PR's predecessor regime);
+* ``mp_partitioned`` — identical wiring with block-partitioned dispatch
+  negotiated (``partitioned=True``), LPT plan stats recorded from the
+  final increment.
+
+Measurements land in ``BENCH_partitioned.json`` at the repository root.
+``mp_speedup`` is the sequential / partitioned wall-clock ratio; the > 1
+target is asserted only when at least two effective CPUs are granted —
+on single-CPU hosts the JSON records ``cpu_limited: true`` and the run
+still validates exact match equality, the pair-accounting identity and
+zero leaked ``/dev/shm`` segments.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+from common import effective_cpus, save_result
+
+from repro.classification import ThresholdClassifier
+from repro.core import StreamERConfig, StreamERPipeline
+from repro.core.backends import active_shm_segments
+from repro.datasets import DatasetSpec, generate
+from repro.evaluation import format_table
+from repro.streaming import MultiprocessStreamRunner
+
+N_ENTITIES = 20_000
+N_INCREMENTS = 8
+THRESHOLD = 0.7
+SEQ_REPS = 3
+WORKERS = 2
+CHUNK_SIZE = 512
+SPEEDUP_TARGET = 1.0
+RESULT_PATH = Path(__file__).resolve().parent.parent / "BENCH_partitioned.json"
+
+
+def _dataset(n_entities: int):
+    return generate(
+        DatasetSpec(
+            name="bench-partitioned",
+            kind="dirty",
+            size=n_entities,
+            matches=max(1, int(n_entities * 0.3)),
+            avg_attributes=4.0,
+            heterogeneity=0.5,
+            vocab_rare=30_000,
+            seed=7,
+        )
+    )
+
+
+def _config(ds) -> StreamERConfig:
+    return StreamERConfig.interned(
+        alpha=StreamERConfig.alpha_for(len(ds), 0.05),
+        beta=0.05,
+        clean_clean=ds.clean_clean,
+        classifier=ThresholdClassifier(THRESHOLD),
+    )
+
+
+def _increments(entities: list, n: int) -> list[list]:
+    size = max(1, (len(entities) + n - 1) // n)
+    return [entities[i : i + size] for i in range(0, len(entities), size)]
+
+
+def _mp_run(ds, increments: list, partitioned: bool) -> dict:
+    start = time.perf_counter()
+    runner = MultiprocessStreamRunner(
+        _config(ds),
+        workers=WORKERS,
+        chunk_size=CHUNK_SIZE,
+        partitioned=partitioned,
+    )
+    with runner:
+        for increment in increments:
+            runner.process_increment(increment)
+        pairs = runner.match_pairs()
+        prefix = runner.backend.name
+        pipeline = runner.pipeline
+        stats = {
+            "matches": len(pairs),
+            "dispatch_mode": pipeline.dispatch_mode,
+            "partitioned": pipeline.partitioned_dispatch,
+            "pool_spawns": pipeline.pool_spawns,
+            "pool_reuses": pipeline.pool_reuses,
+            "pairs_dispatched": pipeline.pairs_dispatched,
+            "pairs_prefiltered": pipeline.pairs_prefiltered,
+        }
+        plan = pipeline.last_partition_plan
+        if plan is not None:
+            stats["last_plan"] = {
+                "used_bins": plan.used_bins,
+                "groups": plan.group_count,
+                "imbalance": round(plan.imbalance, 3),
+                "largest_share": round(plan.largest_share, 3),
+            }
+    seconds = time.perf_counter() - start
+    stats["seconds"] = round(seconds, 3)
+    stats["_seconds_raw"] = seconds
+    stats["_pairs"] = pairs
+    stats["leaked"] = len(active_shm_segments(prefix))
+    return stats
+
+
+def run_benchmark(n_entities: int = N_ENTITIES) -> dict:
+    ds = _dataset(n_entities)
+    entities = list(ds.stream())
+    increments = _increments(entities, N_INCREMENTS)
+
+    seq_seconds = float("inf")
+    seq_pairs = None
+    for _ in range(SEQ_REPS):
+        start = time.perf_counter()
+        sequential = StreamERPipeline(_config(ds), instrument=False)
+        for increment in increments:
+            sequential.process_many(increment)
+        seq_seconds = min(seq_seconds, time.perf_counter() - start)
+        seq_pairs = sequential.cl.matches.pairs()
+
+    chunked = _mp_run(ds, increments, partitioned=False)
+    partitioned = _mp_run(ds, increments, partitioned=True)
+
+    cpus = effective_cpus()
+    part_seconds = partitioned["_seconds_raw"]
+    mp_speedup = seq_seconds / part_seconds if part_seconds > 0 else 0.0
+    speedup_vs_chunked = (
+        chunked["_seconds_raw"] / part_seconds if part_seconds > 0 else 0.0
+    )
+    match_sets_identical = (
+        partitioned.pop("_pairs") == seq_pairs and chunked.pop("_pairs") == seq_pairs
+    )
+    leaked = chunked.pop("leaked") + partitioned.pop("leaked")
+    for stats in (chunked, partitioned):
+        stats.pop("_seconds_raw")
+        stats["entities_per_second"] = round(len(entities) / stats["seconds"], 1)
+    return {
+        "benchmark": "partitioned_dispatch",
+        "entities": len(entities),
+        "increments": len(increments),
+        "workers": WORKERS,
+        "chunk_size": CHUNK_SIZE,
+        "effective_cpus": cpus,
+        "cpu_limited": cpus < 2,
+        "sequential": {
+            "seconds": round(seq_seconds, 3),
+            "entities_per_second": round(len(entities) / seq_seconds, 1),
+            "matches": len(seq_pairs),
+        },
+        "mp_chunked": chunked,
+        "mp_partitioned": partitioned,
+        "mp_speedup": round(mp_speedup, 3),
+        "speedup_vs_chunked": round(speedup_vs_chunked, 3),
+        "speedup_target": SPEEDUP_TARGET,
+        "speedup_target_met": mp_speedup > SPEEDUP_TARGET,
+        "match_sets_identical": match_sets_identical,
+        "leaked_shm_segments": leaked,
+    }
+
+
+def test_partitioned_dispatch(benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+
+    payload = run_benchmark()
+    RESULT_PATH.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+
+    rows = [
+        {
+            "executor": "sequential",
+            "seconds": payload["sequential"]["seconds"],
+            "e_per_s": payload["sequential"]["entities_per_second"],
+            "matches": payload["sequential"]["matches"],
+        },
+        {
+            "executor": f"mp x{WORKERS} shm chunked",
+            "seconds": payload["mp_chunked"]["seconds"],
+            "e_per_s": payload["mp_chunked"]["entities_per_second"],
+            "matches": payload["mp_chunked"]["matches"],
+        },
+        {
+            "executor": f"mp x{WORKERS} shm partitioned",
+            "seconds": payload["mp_partitioned"]["seconds"],
+            "e_per_s": payload["mp_partitioned"]["entities_per_second"],
+            "matches": payload["mp_partitioned"]["matches"],
+        },
+    ]
+    save_result(
+        "partitioned_dispatch",
+        format_table(rows)
+        + f"\npartitioned speedup vs seq: {payload['mp_speedup']}x"
+        + f" | vs chunked: {payload['speedup_vs_chunked']}x"
+        + f" on {payload['effective_cpus']} cpu(s)"
+        + f"\n[saved to {RESULT_PATH}]",
+    )
+
+    # Partitioning must never change the answer, on any hardware, and
+    # must never leak a segment.
+    assert payload["match_sets_identical"]
+    assert payload["leaked_shm_segments"] == 0
+    assert payload["mp_partitioned"]["partitioned"] is True
+    assert payload["mp_chunked"]["partitioned"] is False
+    assert payload["mp_partitioned"]["pool_spawns"] == 1
+    assert payload["mp_partitioned"]["last_plan"]["used_bins"] >= 1
+    # The throughput target only makes sense with real parallelism.
+    if not payload["cpu_limited"]:
+        assert payload["mp_speedup"] > SPEEDUP_TARGET, payload
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--entities", type=int, default=N_ENTITIES)
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="correctness only: fail on match-set divergence, leaked "
+        "shared-memory segments, or failed partitioned negotiation; the "
+        "speedup target is asserted only on >= 2 effective CPUs "
+        "(cpu_limited gate) and the committed JSON is not rewritten",
+    )
+    args = parser.parse_args(argv)
+
+    payload = run_benchmark(args.entities)
+    if args.smoke:
+        brief = {
+            key: payload[key]
+            for key in (
+                "entities",
+                "effective_cpus",
+                "cpu_limited",
+                "mp_speedup",
+                "speedup_vs_chunked",
+                "match_sets_identical",
+                "leaked_shm_segments",
+            )
+        }
+        print(json.dumps(brief, indent=2))
+        if not payload["match_sets_identical"]:
+            print("FAIL: partitioned dispatch diverged from the sequential match set")
+            return 1
+        if payload["leaked_shm_segments"]:
+            print(
+                f"FAIL: {payload['leaked_shm_segments']} shared-memory "
+                "segment(s) leaked after the multiprocess runs"
+            )
+            return 1
+        if not payload["mp_partitioned"]["partitioned"]:
+            print("FAIL: partitioned dispatch was not negotiated on the shm backend")
+            return 1
+        if payload["cpu_limited"]:
+            print(
+                "OK: match sets identical, no leaks "
+                "(1 effective CPU: speedup informational)"
+            )
+            return 0
+        if payload["mp_speedup"] <= SPEEDUP_TARGET:
+            print(
+                f"FAIL: mp_speedup {payload['mp_speedup']} <= "
+                f"{SPEEDUP_TARGET} on {payload['effective_cpus']} CPUs"
+            )
+            return 1
+        print("OK: match sets identical, no leaks, speedup target met")
+        return 0
+    RESULT_PATH.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    print(json.dumps(payload, indent=2))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

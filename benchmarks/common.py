@@ -34,7 +34,10 @@ def effective_cpus() -> int:
     """
     getaffinity = getattr(os, "sched_getaffinity", None)
     if getaffinity is not None:
-        return len(getaffinity(0))
+        try:
+            return len(getaffinity(0))
+        except OSError:  # pragma: no cover - exotic schedulers
+            pass
     return os.cpu_count() or 1
 
 #: Per-benchmark dataset scales (fractions of the real Table II sizes).

@@ -43,6 +43,7 @@ from __future__ import annotations
 
 import itertools
 import os
+import pickle
 import secrets
 import weakref
 from array import array
@@ -75,6 +76,7 @@ __all__ = [
     "SharedTokenDictionary",
     "active_shm_segments",
     "attach_segment",
+    "decode_membership",
     "decode_packed",
 ]
 
@@ -436,6 +438,16 @@ def decode_packed(record: "np.ndarray | memoryview") -> array:
     return ids
 
 
+def decode_membership(record: "np.ndarray | memoryview") -> np.ndarray:
+    """Rebuild a membership record: ``[own_row, partner_row, ...]``.
+
+    The copy (``bytes``) realigns the view — a shared-column record is an
+    arbitrary byte offset into the data segment, which ``np.frombuffer``
+    would reject for an 8-byte dtype.
+    """
+    return np.frombuffer(bytes(record), dtype=np.uint64)
+
+
 class SharedTokenArrayStore:
     """Per-entity packed token-id arrays as rows of a shared column.
 
@@ -444,12 +456,23 @@ class SharedTokenArrayStore:
     ships only the row number.  A re-arriving entity whose token set
     changed (dynamic data) gets a fresh row; the old row stays valid for
     any chunk already in flight (append-only means no ABA hazard).
+
+    With an ``entity_columns`` store attached, every token-row append is
+    mirrored by a pickled entity-id record at the *same* row number —
+    ``row_for`` is the only appender, so the two columns stay row-aligned
+    by construction.  That reverse mapping (row → eid) is what lets the
+    partitioned dispatch mode resolve matches entirely worker-side.
     """
 
-    __slots__ = ("columns", "_rows")
+    __slots__ = ("columns", "entity_columns", "_rows")
 
-    def __init__(self, columns: SharedColumnStore) -> None:
+    def __init__(
+        self,
+        columns: SharedColumnStore,
+        entity_columns: SharedColumnStore | None = None,
+    ) -> None:
         self.columns = columns
+        self.entity_columns = entity_columns
         self._rows: dict[EntityId, tuple[object, int]] = {}
 
     def __len__(self) -> int:
@@ -468,6 +491,8 @@ class SharedTokenArrayStore:
         packed = pack_ids(token_ids)
         record = packed.typecode.encode("ascii") + packed.tobytes()
         row = self.columns.append(record)
+        if self.entity_columns is not None:
+            self.entity_columns.append(pickle.dumps(eid, protocol=5))
         self._rows[eid] = (token_ids, row)
         return row
 
@@ -557,6 +582,13 @@ class SharedMemoryBackend:
     #: negotiates its ``"shm"`` dispatch mode on this string.
     TOKEN_COLUMNS = "shm-token-columns"
 
+    #: Advertised via :meth:`capabilities`; the multiprocess executor
+    #: negotiates block-partitioned dispatch (worker-side candidate
+    #: generation + rescoring) on this string.  Requires the entity and
+    #: membership columns this backend maintains alongside the token
+    #: column.
+    PARTITION_COLUMNS = "shm-partition-columns"
+
     def __init__(
         self,
         name: str | None = None,
@@ -572,18 +604,23 @@ class SharedMemoryBackend:
         self.name = name if name is not None else _fresh_prefix()
         self._creator_pid = os.getpid()
         self._closed = False
-        token_columns = SharedColumnStore(
-            self.name + "t", data_bytes=data_bytes, dir_rows=dir_rows
-        )
+        created: list[SharedColumnStore] = []
         try:
-            dict_columns = SharedColumnStore(
-                self.name + "g", data_bytes=data_bytes, dir_rows=dir_rows
-            )
+            token_columns = self._column(created, "t", data_bytes, dir_rows)
+            dict_columns = self._column(created, "g", data_bytes, dir_rows)
+            entity_columns = self._column(created, "e", data_bytes, dir_rows)
+            membership_columns = self._column(created, "m", data_bytes, dir_rows)
         except BaseException:
-            token_columns.unlink()
+            for store in created:
+                store.unlink()
             raise
-        self._stores = (token_columns, dict_columns)
-        self.token_store = SharedTokenArrayStore(token_columns)
+        self._stores = (
+            token_columns, dict_columns, entity_columns, membership_columns,
+        )
+        self.membership_columns = membership_columns
+        self.token_store = SharedTokenArrayStore(
+            token_columns, entity_columns=entity_columns
+        )
         self.dictionary = SharedTokenDictionary(dict_columns)
         self.blocks = blocks if blocks is not None else BlockCollection()
         self.blacklist = blacklist if blacklist is not None else Blacklist()
@@ -595,6 +632,15 @@ class SharedMemoryBackend:
         self._finalizer = weakref.finalize(
             self, _finalize_backend, self._creator_pid, list(self._stores)
         )
+
+    def _column(
+        self, created: list, suffix: str, data_bytes: int, dir_rows: int
+    ) -> SharedColumnStore:
+        store = SharedColumnStore(
+            self.name + suffix, data_bytes=data_bytes, dir_rows=dir_rows
+        )
+        created.append(store)
+        return store
 
     # -- the StateBackend surface --------------------------------------
 
@@ -610,14 +656,29 @@ class SharedMemoryBackend:
 
     def capabilities(self) -> frozenset[str]:
         """What this backend can do beyond the protocol (negotiation)."""
-        return frozenset({self.TOKEN_COLUMNS})
+        return frozenset({self.TOKEN_COLUMNS, self.PARTITION_COLUMNS})
 
     def layout(self) -> dict[str, str]:
         """Column prefixes a worker needs to attach (picklable, tiny)."""
         return {
             "tokens": self.token_store.columns.prefix,
             "dictionary": self.dictionary.columns.prefix,
+            "entities": self.token_store.entity_columns.prefix,
+            "membership": self.membership_columns.prefix,
         }
+
+    def publish_membership(self, rows: "array | Iterable[int]") -> int:
+        """Append one ``[own_row, partner_row, ...]`` record; its row number.
+
+        The record is the complete per-entity candidate list expressed in
+        shared token-column rows (with multiplicity, as ``f_cg`` emitted
+        it), so a worker holding only this row number can regenerate the
+        candidate pairs, run the cleaning count filter, and score — without
+        the parent walking the pair list.
+        """
+        if not isinstance(rows, array):
+            rows = array("Q", rows)
+        return self.membership_columns.append(rows)
 
     def segment_names(self) -> list[str]:
         """All segments this backend created (for leak accounting)."""

@@ -65,9 +65,16 @@ __all__ = [
     "POOL_SPAWNS",
     "POOL_REUSES",
     "SHM_METRIC_NAMES",
+    "PARTITIONS_DISPATCHED",
+    "PARTITION_PAIRS",
+    "PARTITION_GROUPS",
+    "PARTITION_IMBALANCE",
+    "PARTITION_LARGEST_SHARE",
+    "PARTITION_METRIC_NAMES",
     "declare_pipeline_metrics",
     "declare_durability_metrics",
     "declare_shm_metrics",
+    "declare_partition_metrics",
     "InstrumentedStage",
 ]
 
@@ -135,6 +142,25 @@ SHM_METRIC_NAMES: tuple[str, ...] = (
     POOL_REUSES,
 )
 
+PARTITIONS_DISPATCHED = "er_partitions_dispatched_total"
+PARTITION_PAIRS = "er_partition_pairs_total"
+PARTITION_GROUPS = "er_partition_groups"
+PARTITION_IMBALANCE = "er_partition_imbalance"
+PARTITION_LARGEST_SHARE = "er_partition_largest_share"
+
+#: The partitioned-dispatch balance/skew families, declared only when the
+#: multiprocess executor negotiates block-partitioned dispatch — same
+#: opt-in rule as :data:`SHM_METRIC_NAMES`.  The gauges describe the most
+#: recent run's :class:`~repro.parallel.allocation.PartitionPlan`; the
+#: counters accumulate across increments.
+PARTITION_METRIC_NAMES: tuple[str, ...] = (
+    PARTITIONS_DISPATCHED,
+    PARTITION_PAIRS,
+    PARTITION_GROUPS,
+    PARTITION_IMBALANCE,
+    PARTITION_LARGEST_SHARE,
+)
+
 
 def declare_pipeline_metrics(
     registry: MetricsRegistry, stage_names: Iterable[str]
@@ -190,6 +216,22 @@ def declare_shm_metrics(registry: MetricsRegistry) -> None:
     registry.gauge(SHM_ROWS)
     registry.counter(POOL_SPAWNS)
     registry.counter(POOL_REUSES)
+
+
+def declare_partition_metrics(registry: MetricsRegistry) -> None:
+    """Pre-register the partition balance/skew families.
+
+    Idempotent; a no-op on a disabled registry.  Called by
+    :class:`~repro.parallel.mp_framework.MultiprocessERPipeline` when it
+    negotiates block-partitioned dispatch.
+    """
+    if not registry.enabled:
+        return
+    registry.counter(PARTITIONS_DISPATCHED)
+    registry.counter(PARTITION_PAIRS)
+    registry.gauge(PARTITION_GROUPS)
+    registry.gauge(PARTITION_IMBALANCE)
+    registry.gauge(PARTITION_LARGEST_SHARE)
 
 
 class InstrumentedStage:

@@ -3,9 +3,11 @@
 from repro.parallel.allocation import (
     FIXED_STAGES,
     SCALABLE_STAGES,
+    PartitionPlan,
     allocate_processes,
     bottleneck_time,
     paper_example_times,
+    plan_partitions,
 )
 from repro.parallel.calibration import calibrate_service_model, default_simulator_config
 from repro.parallel.faults import FaultInjector, FaultPlan, FaultSpec, wrap_stages
@@ -14,6 +16,7 @@ from repro.parallel.mp_framework import (
     MultiprocessERPipeline,
     dispatch_mode,
     negotiate_dispatch_mode,
+    negotiate_partitioned_dispatch,
 )
 from repro.parallel.supervision import Supervisor, extract_entity_id, format_liveness
 from repro.parallel.simulator import (
@@ -29,6 +32,8 @@ __all__ = [
     "allocate_processes",
     "bottleneck_time",
     "paper_example_times",
+    "plan_partitions",
+    "PartitionPlan",
     "FIXED_STAGES",
     "SCALABLE_STAGES",
     "ParallelERPipeline",
@@ -36,6 +41,7 @@ __all__ = [
     "MultiprocessERPipeline",
     "dispatch_mode",
     "negotiate_dispatch_mode",
+    "negotiate_partitioned_dispatch",
     "FaultInjector",
     "FaultPlan",
     "FaultSpec",

@@ -17,7 +17,9 @@ dropped); by default it covers the full eight-stage ``STAGE_ORDER``.
 
 from __future__ import annotations
 
-from typing import Sequence
+import heapq
+from dataclasses import dataclass
+from typing import Hashable, Mapping, Sequence
 
 from repro.core.plan import STAGE_ORDER
 from repro.errors import ConfigurationError
@@ -73,6 +75,77 @@ def allocate_processes(
 def bottleneck_time(stage_seconds: dict[str, float], allocation: dict[str, int]) -> float:
     """The limiting per-stage time under an allocation (lower is better)."""
     return max(stage_seconds[s] / allocation[s] for s in allocation)
+
+
+@dataclass(frozen=True)
+class PartitionPlan:
+    """The result of :func:`plan_partitions`: groups assigned to bins.
+
+    ``bins[i]`` holds the group keys bin ``i`` owns; ``bin_costs[i]`` their
+    summed cost.  Bins may be empty (fewer groups than bins, or heavily
+    skewed costs); the executor simply dispatches nothing for them.
+    """
+
+    bins: tuple[tuple[Hashable, ...], ...]
+    bin_costs: tuple[int, ...]
+    group_count: int
+    total_cost: int
+
+    @property
+    def used_bins(self) -> int:
+        """Bins that received any work."""
+        return sum(1 for cost in self.bin_costs if cost)
+
+    @property
+    def imbalance(self) -> float:
+        """Largest bin cost over the ideal (total/bins) share; 1.0 = perfect.
+
+        This is the makespan ratio: wall-clock is bounded by the largest
+        bin, so an imbalance of 2.0 means half the theoretical speedup.
+        """
+        if self.total_cost <= 0 or not self.bin_costs:
+            return 1.0
+        return max(self.bin_costs) * len(self.bin_costs) / self.total_cost
+
+    @property
+    def largest_share(self) -> float:
+        """Fraction of all work held by the largest bin (skew indicator)."""
+        if self.total_cost <= 0 or not self.bin_costs:
+            return 0.0
+        return max(self.bin_costs) / self.total_cost
+
+
+def plan_partitions(
+    group_costs: Mapping[Hashable, int], bins: int
+) -> PartitionPlan:
+    """Greedy bin-packing of blocking-key groups onto worker bins.
+
+    Longest-processing-time-first: groups are sorted by descending cost
+    and each is placed on the currently least-loaded bin — the classic
+    4/3-approximation of makespan scheduling, and the load-balancing move
+    of Kolb/Thor/Rahm's MapReduce sorted-neighborhood blocking (there,
+    skewed blocks are split across reducers; here, whole key groups are
+    packed because a group must stay with one worker to keep the cleaning
+    count filter local).  Deterministic: ties in cost break on the key's
+    repr, ties in load on bin index.
+    """
+    if bins < 1:
+        raise ConfigurationError("bins must be >= 1")
+    order = sorted(group_costs.items(), key=lambda kv: (-kv[1], repr(kv[0])))
+    assigned: list[list[Hashable]] = [[] for _ in range(bins)]
+    loads = [0] * bins
+    heap = [(0, index) for index in range(bins)]
+    for key, cost in order:
+        load, index = heapq.heappop(heap)
+        assigned[index].append(key)
+        loads[index] = load + cost
+        heapq.heappush(heap, (load + cost, index))
+    return PartitionPlan(
+        bins=tuple(tuple(keys) for keys in assigned),
+        bin_costs=tuple(loads),
+        group_count=len(group_costs),
+        total_cost=sum(group_costs.values()),
+    )
 
 
 def paper_example_times() -> dict[str, float]:

@@ -44,6 +44,24 @@ configured comparator:
     :func:`~repro.core.backends.base.backend_capabilities`; scoring is
     bit-identical to ``"ids"`` (same arrays, same kernel).
 
+On top of the ``"shm"`` substrate sits **block-partitioned dispatch**
+(negotiated via the backend's ``PARTITION_COLUMNS`` capability): instead
+of the parent walking every per-entity pair list, chunking, and rescoring
+``f_cl`` itself, the per-entity candidate lists are published once to a
+shared *membership* column, grouped by each entity's smallest blocking
+key, and the groups are bin-packed onto the workers by comparison count
+(:func:`~repro.parallel.allocation.plan_partitions` — the load-balancing
+move of Kolb/Thor/Rahm's MapReduce sorted-neighborhood blocking).  Each
+worker receives one partition descriptor per increment — a flat ``uint64``
+array of membership rows — and performs candidate regeneration, the
+I-WNP cleaning count filter, the length prefilter, kernel scoring, *and*
+the ``f_cl`` threshold/oracle decision locally against the shared
+columns.  The parent only merges scored matches (the match store
+de-duplicates pairs reported from both endpoints) and heals failures.
+Keys never span workers, so the per-entity cleaning semantics are
+preserved exactly; the differential suite asserts bit-identical match
+sets against every other executor.
+
 The pool itself is *persistent* by default: it is spawned on the first
 :meth:`MultiprocessERPipeline.run` and reused by every subsequent call
 (the streaming increments of dynamic ER), so fork/spawn cost and worker
@@ -78,6 +96,7 @@ from typing import Callable, Iterable, Iterator
 
 import numpy as np
 
+from repro.classification.classifiers import OracleClassifier, ThresholdClassifier
 from repro.comparison.comparator import TokenSetComparator
 from repro.comparison.kernel import (
     InternedComparator,
@@ -88,6 +107,7 @@ from repro.core.backends import StateBackend
 from repro.core.backends.shm import (
     SharedColumnReader,
     SharedMemoryBackend,
+    decode_membership,
     decode_packed,
 )
 from repro.core.config import StreamERConfig, SupervisionPolicy
@@ -99,6 +119,12 @@ from repro.invariants.checker import InvariantChecker
 from repro.observability.instrument import (
     COMPARISONS_EXECUTED,
     ENTITIES,
+    MATCHES,
+    PARTITION_GROUPS,
+    PARTITION_IMBALANCE,
+    PARTITION_LARGEST_SHARE,
+    PARTITION_PAIRS,
+    PARTITIONS_DISPATCHED,
     POOL_REUSES,
     POOL_SPAWNS,
     SHM_BYTES,
@@ -106,8 +132,10 @@ from repro.observability.instrument import (
     SHM_SEGMENTS,
     STAGE_ITEMS,
     STAGE_SERVICE_SECONDS,
+    declare_partition_metrics,
     declare_shm_metrics,
 )
+from repro.parallel.allocation import plan_partitions
 from repro.observability.registry import NULL_REGISTRY, MetricsRegistry
 from repro.observability.trace import Tracer
 from repro.parallel.faults import FaultInjector, FaultPlan, FaultSpec
@@ -158,6 +186,32 @@ def negotiate_dispatch_mode(
     return mode
 
 
+#: Classifier types whose decision is a pure function of the scored pair
+#: (a threshold on the similarity, or membership in a ground-truth set) —
+#: exactly the decisions a worker can take without the match store.
+_PARTITIONABLE_CLASSIFIERS = (ThresholdClassifier, OracleClassifier)
+
+
+def negotiate_partitioned_dispatch(
+    dispatch_mode: str,
+    capabilities: frozenset[str] = frozenset(),
+    classifier: object | None = None,
+) -> bool:
+    """Whether block-partitioned worker-side rescoring is available.
+
+    Requires the ``"shm"`` row-number substrate, a backend that maintains
+    the entity/membership columns (``PARTITION_COLUMNS``), and a
+    classifier whose decision is pure (exact-type check, like
+    :func:`dispatch_mode`: a subclass may consult state the workers do not
+    have).
+    """
+    return (
+        dispatch_mode == "shm"
+        and SharedMemoryBackend.PARTITION_COLUMNS in capabilities
+        and type(classifier) in _PARTITIONABLE_CLASSIFIERS
+    )
+
+
 def _dumps_oob(obj: object) -> tuple[bytes, list[bytes]]:
     """Pickle with protocol-5 out-of-band buffers.
 
@@ -182,6 +236,14 @@ _worker_threshold: float | None = None
 _worker_scorer: Callable | None = None
 _worker_tokens: SharedColumnReader | None = None
 _worker_row_cache: dict = {}
+# Partitioned-dispatch extras (attached only in "partitioned" mode).
+_worker_membership: SharedColumnReader | None = None
+_worker_entities: SharedColumnReader | None = None
+_worker_eid_cache: dict = {}
+_worker_cc_enabled: bool = True
+_worker_prefilter: bool = False
+_worker_cl_threshold: float | None = None
+_worker_cl_truth: frozenset | None = None
 
 #: Bound on the worker-side row → decoded-array cache.  Entities recur
 #: across chunks (that is the point of shm dispatch), so the cache's hit
@@ -221,25 +283,55 @@ def _worker_row_ids(row: int) -> array:
     return ids
 
 
+def _worker_row_eid(row: int):
+    """Decode (and cache) the entity id behind a shared-column row."""
+    eid = _worker_eid_cache.get(row)
+    if eid is None:
+        eid = pickle.loads(bytes(_worker_entities.record(row)))  # type: ignore[union-attr]
+        if len(_worker_eid_cache) >= _ROW_CACHE_LIMIT:
+            _worker_eid_cache.clear()
+        _worker_eid_cache[row] = eid
+    return eid
+
+
 def _init_worker(
     comparator: object,
     fault_spec: FaultSpec | None = None,
     mode: str = "profiles",
     shm_layout: dict | None = None,
+    partition: dict | None = None,
 ) -> None:
     global _worker_comparator, _worker_mode, _worker_threshold, _worker_scorer
     global _worker_tokens, _worker_row_cache
+    global _worker_membership, _worker_entities, _worker_eid_cache
+    global _worker_cc_enabled, _worker_prefilter
+    global _worker_cl_threshold, _worker_cl_truth
     _worker_comparator = comparator
     _worker_mode = mode
-    if mode == "shm":
+    if mode in ("shm", "partitioned"):
         # Attach to the parent's shared token column exactly once, here;
         # every chunk afterwards carries row numbers, not token data.
         _worker_tokens = SharedColumnReader(shm_layout["tokens"])  # type: ignore[index]
         _worker_row_cache = {}
+    if mode == "partitioned":
+        _worker_membership = SharedColumnReader(shm_layout["membership"])  # type: ignore[index]
+        _worker_entities = SharedColumnReader(shm_layout["entities"])  # type: ignore[index]
+        _worker_eid_cache = {}
+        _worker_cc_enabled = bool(partition["cc_enabled"])  # type: ignore[index]
+        _worker_prefilter = bool(partition["prefilter"])  # type: ignore[index]
+        classifier = partition["classifier"]  # type: ignore[index]
+        if type(classifier) is OracleClassifier:
+            _worker_cl_truth = classifier.truth
+            _worker_cl_threshold = None
+        else:
+            _worker_cl_truth = None
+            _worker_cl_threshold = classifier.threshold
     _worker_threshold = (
-        comparator.threshold if mode in ("ids", "shm") else None  # type: ignore[attr-defined]
+        comparator.threshold  # type: ignore[attr-defined]
+        if mode in ("ids", "shm", "partitioned")
+        else None
     )
-    if mode in ("ids", "shm"):
+    if mode in ("ids", "shm", "partitioned"):
         base: Callable = _score_id_pair
     elif mode == "tokens":
         base = _score_token_pair
@@ -345,10 +437,104 @@ def _score_shm_chunk(
     return out
 
 
+def _score_partition(payload: object) -> tuple[list, list, dict]:
+    """Resolve one partition descriptor entirely inside a worker.
+
+    The payload is a flat ``uint64`` array of membership rows.  Each row
+    decodes to ``[own_row, partner_row, ...]`` — one entity's candidate
+    list with multiplicity, in shared token-column rows.  The worker then
+    replays the sequential tail for that entity: the I-WNP count filter
+    (partner kept when its block co-occurrence count is at least the
+    average — or plain dedup when cleaning is disabled), the kernel
+    length prefilter, scoring, threshold verification, and the ``f_cl``
+    decision.  Returns ``(matches, failures, stats)``: matched triples
+    ``(left, right, score)``, failed triples ``(left, right, error)``,
+    and the cleaned/prefiltered counts the parent folds into its
+    accounting.  Row ↔ entity-id maps are bijective within one record
+    (every eid resolves to exactly one current row at publish time), so
+    counting by row is counting by partner.
+    """
+    scorer = _worker_scorer
+    assert scorer is not None, "worker not initialized"
+    (rows,) = _loads_oob(payload)  # type: ignore[misc]
+    thr = _worker_threshold
+    cl_thr = _worker_cl_threshold
+    truth = _worker_cl_truth
+    prefilter = _worker_prefilter
+    bound = _worker_comparator.bound if prefilter else None  # type: ignore[union-attr]
+    matches: list[tuple] = []
+    failures: list[tuple] = []
+    cleaned = 0
+    prefiltered = 0
+    for membership_row in rows:
+        record = decode_membership(
+            _worker_membership.record(int(membership_row))  # type: ignore[union-attr]
+        )
+        own = int(record[0])
+        counts: dict[int, int] = {}
+        get = counts.get
+        for partner_row in record[1:]:
+            partner = int(partner_row)
+            counts[partner] = get(partner, 0) + 1
+        if not counts:
+            continue
+        if _worker_cc_enabled:
+            avg = (len(record) - 1) / len(counts)
+            survivors = [row for row, count in counts.items() if count >= avg]
+        else:
+            survivors = list(counts)
+        cleaned += len(survivors)
+        a = _worker_row_ids(own)
+        la = len(a)
+        left = _worker_row_eid(own)
+        for row in survivors:
+            b = _worker_row_ids(row)
+            lb = len(b)
+            if prefilter:
+                # Mirrors the parent-side prefilter of the chunked path:
+                # exactly one empty side scores identically 0 (< threshold);
+                # both-empty pairs must still be scored (jaccard says 1.0).
+                if (la == 0) != (lb == 0):
+                    prefiltered += 1
+                    continue
+                if la and bound(la, lb) < thr:  # type: ignore[misc]
+                    prefiltered += 1
+                    continue
+            right = _worker_row_eid(row)
+            try:
+                score = scorer((left, right, a, b))
+            except Exception as exc:
+                failures.append((left, right, repr(exc)))
+                continue
+            if thr is not None and score < thr:
+                continue  # kernel-verified non-match
+            if truth is not None:
+                if pair_key(left, right) in truth:
+                    matches.append((left, right, score))
+            elif score >= cl_thr:  # type: ignore[operator]
+                matches.append((left, right, score))
+    return matches, failures, {"cleaned": cleaned, "prefiltered": prefiltered}
+
+
 def _terminate_pool(pool) -> None:
     """Finalizer hook: module-level so ``weakref.finalize`` stays cycle-free."""
     pool.terminate()
     pool.join()
+
+
+def _unwrap(stage):
+    """The bare stage object behind Instrumented/Checked decorators.
+
+    The wrappers use ``__slots__`` with read-only delegation, so stats the
+    partitioned path maintains on the workers' behalf (``cc.retained``,
+    ``lm.materialized``) must be written to the innermost object.
+    """
+    inner = stage
+    while True:
+        next_inner = getattr(inner, "inner", None)
+        if next_inner is None:
+            return inner
+        inner = next_inner
 
 
 class MultiprocessERPipeline:
@@ -405,12 +591,24 @@ class MultiprocessERPipeline:
         ``False``, the pool is torn down at the end of each run (the old
         behaviour).  Either way, :meth:`close` / the context manager
         releases the workers, and a finalizer covers GC/interpreter exit.
+    partitioned:
+        Block-partitioned dispatch with worker-side rescoring (see the
+        module docstring).  ``"auto"`` (default) enables it whenever
+        eligible: ``"shm"`` dispatch, a backend advertising
+        ``PARTITION_COLUMNS``, a pure (threshold/oracle) classifier, no
+        durable per-entity commit hook, and no fault specs on the stages
+        that move into the workers (``cc``/``lm``/``cl``).  ``True``
+        raises :class:`~repro.errors.ConfigurationError` when ineligible;
+        ``False`` forces the chunked path.
 
-    After a run, ``pairs_prefiltered`` counts the comparisons the parent
-    dropped by the length prefilter (never dispatched) and
-    ``pairs_dispatched`` the comparisons actually shipped to the pool;
+    After a run, ``pairs_prefiltered`` counts the comparisons dropped by
+    the length prefilter (never scored) and ``pairs_dispatched`` the
+    comparisons actually scored by the pool — the two always sum to the
+    after-cleaning comparison count, in every dispatch mode;
     ``pool_spawns`` / ``pool_reuses`` count pool creations vs. runs that
-    reused a live pool.
+    reused a live pool.  ``last_partition_plan`` holds the most recent
+    run's :class:`~repro.parallel.allocation.PartitionPlan` (partitioned
+    runs only).
     """
 
     def __init__(
@@ -426,6 +624,7 @@ class MultiprocessERPipeline:
         tracer: Tracer | None = None,
         checker: InvariantChecker | None = None,
         persistent_pool: bool = True,
+        partitioned: bool | str = "auto",
     ) -> None:
         if workers < 1:
             raise ConfigurationError("workers must be >= 1")
@@ -514,6 +713,66 @@ class MultiprocessERPipeline:
             injector = FaultInjector(self._fns[name], spec, stage=name)  # type: ignore[arg-type]
             self._fns[name] = injector
             self.fault_injectors[name] = injector
+        self.partitioned_dispatch = self._negotiate_partitioned(
+            partitioned, faults
+        )
+        self.last_partition_plan = None
+        self._partition_config: dict | None = None
+        if self.partitioned_dispatch:
+            # The parent-side front stops after cg; cc/lm/cl semantics move
+            # into the workers (cl's state duty — the match store — stays
+            # parent-side via the merge loop).
+            self._partition_front = tuple(
+                name for name in self._front_stages
+                if name in ("dr", "bb+bp", "bg")
+            )
+            cc = self.compiled.get("cc")
+            self._partition_config = {
+                "cc_enabled": cc is not None and bool(_unwrap(cc).enabled),
+                "prefilter": self._prefilter,
+                "classifier": self.config.classifier,
+            }
+            if self.registry.enabled:
+                declare_partition_metrics(self.registry)
+
+    def _negotiate_partitioned(
+        self, requested: bool | str, front_faults: dict
+    ) -> bool:
+        """Resolve the ``partitioned`` parameter against this run's wiring."""
+        if requested is False:
+            return False
+        if requested not in (True, "auto"):
+            raise ConfigurationError(
+                f"partitioned must be True, False, or 'auto', got {requested!r}"
+            )
+        blockers: list[str] = []
+        if not negotiate_partitioned_dispatch(
+            self.dispatch_mode,
+            self.compiled.capabilities,
+            self.config.classifier,
+        ):
+            blockers.append(
+                "needs shm dispatch, a PARTITION_COLUMNS backend, and a "
+                "threshold/oracle classifier"
+            )
+        if hasattr(self.backend, "commit_entity"):
+            # A durable backend commits per entity through the cl stage
+            # wrapper; partitioned runs bypass that stage, so the WAL
+            # would silently miss matches.
+            blockers.append("durable backends commit per-entity through cl")
+        moved = [n for n in front_faults if n in ("cc", "lm", "cl")]
+        if moved:
+            blockers.append(
+                f"fault specs on {moved} target stages that run worker-side "
+                "under partitioned dispatch"
+            )
+        if not blockers:
+            return True
+        if requested is True:
+            raise ConfigurationError(
+                "partitioned dispatch unavailable: " + "; ".join(blockers)
+            )
+        return False
 
     @property
     def items_failed(self) -> int:
@@ -583,7 +842,14 @@ class MultiprocessERPipeline:
                 for c in comparisons:
                     la = len(c.left.tokens)
                     lb = len(c.right.tokens)
-                    if la and lb and bound(la, lb) < thr:  # type: ignore[misc]
+                    # Exactly one empty side scores identically 0, below any
+                    # positive threshold — droppable.  Both-empty pairs must
+                    # still be shipped: the kernel scores them 1.0 (jaccard
+                    # on two empty sets), which can classify as a match.
+                    if (la == 0) != (lb == 0):
+                        self.pairs_prefiltered += 1
+                        continue
+                    if la and bound(la, lb) < thr:  # type: ignore[misc]
                         self.pairs_prefiltered += 1
                         continue
                     buffer.append(c)
@@ -605,9 +871,12 @@ class MultiprocessERPipeline:
         keyed by entity id; pairs are id tuples.  A pair whose either side
         lacks interned ids falls back to string sets *for both sides*, so
         the worker always compares like with like.
+
+        Pure encoding: ``pairs_dispatched`` accounting lives on the submit
+        path in :meth:`run`, so re-encoding a chunk (supervised retry,
+        tests poking the wire format) cannot double-count.
         """
         mode = self.dispatch_mode
-        self.pairs_dispatched += len(chunk)
         if mode == "profiles":
             return [(c.left, c.right) for c in chunk]
         if mode == "shm":
@@ -687,8 +956,9 @@ class MultiprocessERPipeline:
             initargs=(
                 self.config.comparator,
                 self._worker_fault_spec,
-                self.dispatch_mode,
+                "partitioned" if self.partitioned_dispatch else self.dispatch_mode,
                 self._shm_layout,
+                self._partition_config,
             ),
         )
         self.pool_spawns += 1
@@ -738,6 +1008,8 @@ class MultiprocessERPipeline:
 
     def run(self, entities: Iterable[EntityDescription]) -> ERResult:
         """Process a finite input end to end; returns the usual summary."""
+        if self.partitioned_dispatch:
+            return self._run_partitioned(entities)
         start = time.perf_counter()
         matches: list[Match] = []
         count_in = [0]
@@ -766,6 +1038,10 @@ class MultiprocessERPipeline:
             def payloads() -> Iterator[object]:
                 for chunk in chunk_stream:
                     pair_chunks.append(chunk)
+                    # Submit-path accounting (not in _encode_chunk): each
+                    # unique pair counts exactly once, however often its
+                    # chunk might be re-encoded.
+                    self.pairs_dispatched += len(chunk)
                     yield self._encode_chunk(chunk)
 
             threshold = self._threshold
@@ -834,6 +1110,260 @@ class MultiprocessERPipeline:
             # ENTITIES counted admissions here, so expected == count_in.
             self.checker.finalize(result, expected_entities=count_in[0])
         return result
+
+    def _run_partitioned(self, entities: Iterable[EntityDescription]) -> ERResult:
+        """One increment under block-partitioned dispatch.
+
+        The parent runs only the state-bearing stages (``dr``..``bg`` and
+        candidate generation — block state is inherently serial), publishes
+        each entity's candidate list to the shared membership column, and
+        groups entities by their smallest blocking key.  The groups are
+        bin-packed onto the workers by comparison count; each worker then
+        replays cleaning, prefilter, scoring, and classification locally
+        (see :func:`_score_partition`), and the parent merges.
+
+        Candidate lists are resolved to token-column rows *at arrival
+        time*, exactly when the sequential pipeline would materialize the
+        partners — so a partner that re-arrives later in the same
+        increment with changed tokens is compared against the version
+        that was current when this entity arrived, bit-identically to
+        every other executor.
+        """
+        start = time.perf_counter()
+        matches: list[Match] = []
+        count_in = [0]
+        metrics_on = self.registry.enabled
+        if metrics_on:
+            entities_metric = self.registry.counter(ENTITIES)
+            matches_metric = self.registry.counter(MATCHES)
+            co_service = self.registry.histogram(
+                STAGE_SERVICE_SECONDS, stage="co"
+            )
+            co_items = self.registry.counter(STAGE_ITEMS, stage="co")
+            executed_metric = self.registry.counter(COMPARISONS_EXECUTED)
+        tracer = self.tracer
+        supervisor = self.supervisor
+        profiles = self.backend.profiles
+        match_store = self.backend.matches
+        row_for = self._token_store.row_for  # type: ignore[union-attr]
+        publish = self.backend.publish_membership
+        cooccurrence = self.backend.cooccurrence if self.cc is not None else None
+        cc_present = self.cc is not None
+        #: blocking key → membership rows / summed comparison count.
+        groups: dict[str, array] = {}
+        group_costs: dict[str, int] = {}
+        cleaned_total = 0
+        pool = self._acquire_pool()
+        try:
+            for entity in entities:
+                count_in[0] += 1
+                self.entities_processed += 1
+                if metrics_on:
+                    entities_metric.inc()
+                trace = None
+                if tracer is not None:
+                    seq = self._trace_seq
+                    self._trace_seq += 1
+                    trace = tracer.start(seq, entity.eid)
+                message: object = entity
+                ok = True
+                for name in self._partition_front:
+                    if trace is not None:
+                        trace.record_start(name)
+                    ok, message = supervisor.execute(
+                        name, self._fns[name], message  # type: ignore[arg-type]
+                    )
+                    if trace is not None:
+                        if ok:
+                            trace.record_finish(name)
+                        else:
+                            trace.dead_letter(name)
+                    if not ok:
+                        break
+                if not ok:
+                    continue
+                blocked = message
+                # The partition anchor: the entity's smallest block (fewest
+                # co-members, key as tiebreak).  Any deterministic choice
+                # works — correctness needs only that the whole entity
+                # lands in exactly one group.
+                anchor = None
+                if blocked.others:  # type: ignore[union-attr]
+                    others = blocked.others  # type: ignore[union-attr]
+                    anchor = min(
+                        others, key=lambda key: (len(others[key]), key)
+                    )
+                if trace is not None:
+                    trace.record_start("cg")
+                ok, generated = supervisor.execute(
+                    "cg", self._fns["cg"], blocked  # type: ignore[arg-type]
+                )
+                if trace is not None:
+                    if ok:
+                        trace.record_finish("cg")
+                    else:
+                        trace.dead_letter("cg")
+                if not ok:
+                    continue
+                profile = generated.profile
+                # lm's state duty (register the profile before lookups)
+                # stays in the parent, as does publishing the entity's
+                # token row so later arrivals can reference it.
+                profiles.put(profile)
+                own_row = (
+                    row_for(profile.eid, profile.token_ids)
+                    if profile.token_ids is not None
+                    else -1
+                )
+                if trace is not None:
+                    trace.complete()
+                candidates = generated.candidates
+                if not candidates:
+                    continue
+                if cooccurrence is not None:
+                    # The cc stage's tally, maintained on its behalf.
+                    cooccurrence.pairs_counted += len(candidates)
+                record = None
+                if own_row >= 0:
+                    record = array("Q", (own_row,))
+                    for j in candidates:
+                        other = profiles.get(j)
+                        if other is None or other.token_ids is None:
+                            record = None
+                            break
+                        record.append(row_for(j, other.token_ids))
+                if record is None:
+                    # A pair without interned ids cannot ride the shared
+                    # columns; finish this entity inline with sequential
+                    # semantics (cc's per-entity counting must not split).
+                    matches.extend(self._run_inline_tail(generated))
+                    continue
+                rows_of = groups.get(anchor)
+                if rows_of is None:
+                    rows_of = groups[anchor] = array("Q")
+                rows_of.append(publish(record))
+                group_costs[anchor] = group_costs.get(anchor, 0) + len(candidates)
+
+            plan = plan_partitions(group_costs, self.workers)
+            self.last_partition_plan = plan
+            descriptors: list[array] = []
+            for bin_keys in plan.bins:
+                descriptor = array("Q")
+                for key in bin_keys:
+                    descriptor.extend(groups[key])
+                if descriptor:
+                    descriptors.append(descriptor)
+            if metrics_on:
+                self.registry.counter(PARTITIONS_DISPATCHED).inc(len(descriptors))
+                self.registry.counter(PARTITION_PAIRS).inc(plan.total_cost)
+                self.registry.gauge(PARTITION_GROUPS).set(plan.group_count)
+                self.registry.gauge(PARTITION_IMBALANCE).set(plan.imbalance)
+                self.registry.gauge(PARTITION_LARGEST_SHARE).set(
+                    plan.largest_share
+                )
+            last_yield = time.perf_counter()
+            for partition_matches, failures, stats in pool.imap(
+                _score_partition,
+                (
+                    _dumps_oob((np.frombuffer(d, dtype=np.uint64),))
+                    for d in descriptors
+                ),
+            ):
+                scored_here = stats["cleaned"] - stats["prefiltered"]
+                if metrics_on:
+                    now = time.perf_counter()
+                    co_service.observe(now - last_yield)
+                    last_yield = now
+                    co_items.inc(scored_here)
+                    executed_metric.inc(scored_here)
+                cleaned_total += stats["cleaned"]
+                self.pairs_dispatched += scored_here
+                self.pairs_prefiltered += stats["prefiltered"]
+                for left, right, score in partition_matches:
+                    match = Match(left=left, right=right, similarity=score)
+                    if match_store.add(match):
+                        matches.append(match)
+                        if metrics_on:
+                            matches_metric.inc()
+                for left, right, error in failures:
+                    match = self._heal_pair(left, right, error)
+                    if match is not None and match_store.add(match):
+                        matches.append(match)
+                        if metrics_on:
+                            matches_metric.inc()
+        except BaseException:
+            self._discard_pool()
+            raise
+        if not self.persistent_pool:
+            self._shutdown_pool()
+        # The cleaning/materialization the workers performed on the
+        # stages' behalf, folded back into the canonical stage counters.
+        if cleaned_total:
+            _unwrap(self.lm).materialized += cleaned_total
+            if cc_present:
+                _unwrap(self.cc).retained += cleaned_total
+        if metrics_on:
+            backend = self.backend
+            self.registry.gauge(SHM_BYTES).set(backend.shm_bytes())
+            self.registry.gauge(SHM_SEGMENTS).set(len(backend.segment_names()))
+            self.registry.gauge(SHM_ROWS).set(len(self._token_store))  # type: ignore[arg-type]
+        result = ERResult(
+            entities_processed=count_in[0],
+            matches=matches,
+            comparisons_generated=self.cg.generated,
+            comparisons_after_cleaning=self.lm.materialized,
+            blocks_pruned=self.bb.pruned_blocks,
+            keys_ghosted=self.bg.ghosted_keys if self.bg is not None else 0,
+            elapsed_seconds=time.perf_counter() - start,
+            items_failed=self.supervisor.items_failed,
+            retries=self.supervisor.retries_performed,
+            dead_letters=list(self.supervisor.dead_letters),
+        )
+        if self.checker is not None:
+            self.checker.finalize(result, expected_entities=count_in[0])
+        return result
+
+    def _run_inline_tail(self, generated) -> list[Match]:
+        """cc → lm → co → cl in the parent for one entity.
+
+        The partitioned path's escape hatch for profiles without interned
+        token ids (no shared-column row to hand a worker).  Runs the real
+        compiled stages under the supervisor, so counters, instrumentation
+        and dead-lettering behave exactly as in the sequential pipeline.
+        """
+        stages: list[tuple[str, object]] = [
+            (name, self._fns[name]) for name in ("cc", "lm") if name in self._fns
+        ]
+        stages.append(("co", self.compiled.get("co")))
+        stages.append(("cl", self._fns["cl"]))
+        message: object = generated
+        for name, fn in stages:
+            ok, message = self.supervisor.execute(name, fn, message)  # type: ignore[arg-type]
+            if not ok:
+                return []
+        return list(message)  # type: ignore[arg-type]
+
+    def _heal_pair(self, left: EntityId, right: EntityId, error: str) -> Match | None:
+        """Parent-side rescue of a worker-failed pair (partitioned mode).
+
+        Mirrors the chunked path's merge-loop healing: rebuild the
+        comparison from the profile store (both sides were registered
+        before their rows were published), retry with the parent's
+        uninjected comparator, re-verify against the kernel threshold,
+        and classify with the real classifier.
+        """
+        comparison = Comparison(
+            left=self.backend.profiles.get(left),
+            right=self.backend.profiles.get(right),
+        )
+        score = self._rescore(comparison, error)
+        if score is None:
+            return None  # dead-lettered
+        if self._threshold is not None and score < self._threshold:
+            return None
+        return self.config.classifier.classify(
+            ScoredComparison(comparison=comparison, similarity=score)
+        )
 
     def _rescore(self, comparison: Comparison, first_error: str) -> float | None:
         """Retry a worker-failed pair in the parent; dead-letter on exhaust.

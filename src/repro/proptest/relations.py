@@ -24,6 +24,11 @@ must hold for every input — metamorphic oracles:
     SEQ, PP, MPP and the multiprocess executor produce identical match
     sets modulo dead letters (none are injected here, so: identical),
     each verified against the runtime invariants while it runs;
+``partitioned-equals-chunked``
+    block-partitioned multiprocess dispatch (workers own disjoint
+    blocking-key ranges and rescore locally) produces the same match set
+    and the same ``dispatched + prefiltered == cleaned`` accounting as
+    the chunked shm path;
 ``interned-equals-string``
     the integer-interned comparison kernel is score-equivalent to the
     string token path;
@@ -255,6 +260,64 @@ def _check_executors_agree(case: ERCase) -> None:
             )
 
 
+def _check_partitioned_equals_chunked(case: ERCase) -> None:
+    # Lazy imports for the same reason as _check_executors_agree.
+    from repro.core.backends.shm import SharedMemoryBackend
+    from repro.parallel.mp_framework import MultiprocessERPipeline
+
+    entities = list(case.entities)
+    outcomes: dict[str, set] = {}
+    checkers: dict[str, InvariantChecker] = {}
+    for name, partitioned in (("chunked", False), ("partitioned", True)):
+        checkers[name] = InvariantChecker(mode="record")
+        backend = SharedMemoryBackend()
+        try:
+            pipeline = MultiprocessERPipeline(
+                case.config(interned=True),
+                workers=2,
+                chunk_size=64,
+                backend=backend,
+                checker=checkers[name],
+                partitioned=partitioned,
+            )
+            result = pipeline.run(entities)
+            if partitioned and not pipeline.partitioned_dispatch:
+                raise CheckFailed(
+                    "partitioned dispatch failed to negotiate on a "
+                    "shared-memory backend with a threshold classifier"
+                )
+            if result.items_failed:
+                raise CheckFailed(
+                    f"{name} dispatch dead-lettered {result.items_failed} "
+                    f"item(s) with no faults injected"
+                )
+            accounted = pipeline.pairs_dispatched + pipeline.pairs_prefiltered
+            if accounted != result.comparisons_after_cleaning:
+                raise CheckFailed(
+                    f"{name} dispatch accounting broke: dispatched "
+                    f"{pipeline.pairs_dispatched} + prefiltered "
+                    f"{pipeline.pairs_prefiltered} != cleaned "
+                    f"{result.comparisons_after_cleaning}"
+                )
+            pipeline.close()
+            outcomes[name] = result.match_pairs
+        finally:
+            backend.unlink()
+    if outcomes["partitioned"] != outcomes["chunked"]:
+        _fail_diff(
+            "partitioned dispatch diverged from chunked",
+            "partitioned",
+            outcomes["partitioned"],
+            "chunked",
+            outcomes["chunked"],
+        )
+    for name, checker in checkers.items():
+        if checker.violations:
+            raise CheckFailed(
+                f"invariants violated under {name} dispatch: {checker.report()}"
+            )
+
+
 def _check_interned_equals_string(case: ERCase) -> None:
     string_pairs = _match_pairs(case)
     interned_pairs = _match_pairs(case, interned=True)
@@ -406,6 +469,16 @@ METAMORPHIC_RELATIONS: tuple[Relation, ...] = (
         ),
         gen=er_cases(),
         check=_check_executors_agree,
+        heavy=True,
+    ),
+    Relation(
+        name="partitioned-equals-chunked",
+        description=(
+            "Block-partitioned multiprocess dispatch produces the same "
+            "match set and pair accounting as chunked shm dispatch."
+        ),
+        gen=er_cases(),
+        check=_check_partitioned_equals_chunked,
         heavy=True,
     ),
     Relation(

@@ -205,6 +205,13 @@ class MultiprocessStreamRunner:
     owned (closed + unlinked) by the runner; pass an explicit backend —
     e.g. ``DurableBackend(SharedMemoryBackend(), ...)`` for a durable
     incremental run — to manage its lifecycle yourself.
+
+    ``partitioned="auto"`` (default) additionally negotiates
+    block-partitioned dispatch when the backend and classifier allow it:
+    workers then own disjoint blocking-key ranges and run candidate
+    generation + rescoring locally (see
+    :mod:`repro.parallel.mp_framework`); pass ``False`` to force the
+    chunked path or ``True`` to fail loudly when unavailable.
     """
 
     def __init__(
@@ -215,6 +222,7 @@ class MultiprocessStreamRunner:
         backend=None,
         registry: MetricsRegistry | None = None,
         metrics_path: str | None = None,
+        partitioned: bool | str = "auto",
     ) -> None:
         from repro.core.backends.shm import SharedMemoryBackend
         from repro.parallel.mp_framework import MultiprocessERPipeline
@@ -231,9 +239,16 @@ class MultiprocessStreamRunner:
             backend=self.backend,
             registry=registry,
             persistent_pool=True,
+            partitioned=partitioned,
         )
         self.increments: list[IncrementReport] = []
         self._closed = False
+
+    @property
+    def partitioned_dispatch(self) -> bool:
+        """Whether block-partitioned dispatch was negotiated (see
+        :func:`~repro.parallel.mp_framework.negotiate_partitioned_dispatch`)."""
+        return self.pipeline.partitioned_dispatch
 
     def process_increment(
         self, entities: Iterable[EntityDescription]

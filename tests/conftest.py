@@ -16,7 +16,10 @@ def _effective_cpus() -> int:
     """CPUs this process may actually use (affinity mask, not the box)."""
     getaffinity = getattr(os, "sched_getaffinity", None)
     if getaffinity is not None:
-        return len(getaffinity(0))
+        try:
+            return len(getaffinity(0))
+        except OSError:  # pragma: no cover - exotic schedulers
+            pass
     return os.cpu_count() or 1
 
 

@@ -153,12 +153,16 @@ class TestSharedTokenStores:
 class TestBackendLifecycle:
     def test_capabilities_and_layout(self):
         with SharedMemoryBackend() as backend:
-            assert SharedMemoryBackend.TOKEN_COLUMNS in backend_capabilities(backend)
+            capabilities = backend_capabilities(backend)
+            assert SharedMemoryBackend.TOKEN_COLUMNS in capabilities
+            assert SharedMemoryBackend.PARTITION_COLUMNS in capabilities
             layout = backend.layout()
-            assert set(layout) == {"tokens", "dictionary"}
+            assert set(layout) == {
+                "tokens", "dictionary", "entities", "membership",
+            }
             assert all(name.startswith(backend.name) for name in layout.values())
             assert backend.shm_bytes() > 0
-            assert len(backend.segment_names()) >= 4  # 2 stores x (ctl+data+dir)
+            assert len(backend.segment_names()) >= 8  # 4 stores x (ctl+data+dir)
 
     def test_context_manager_unlinks_all_segments(self):
         with SharedMemoryBackend() as backend:

@@ -288,6 +288,15 @@ class TestMultiprocessFaults:
         for letter in result.dead_letters:
             assert letter.stage == "co"
             assert isinstance(letter.entity_id, tuple)  # canonical pair key
+        # Accounting under faults: the dispatch counter moved out of
+        # _encode_chunk, so retries and dead letters must not double- or
+        # under-count — every cleaned pair was dispatched exactly once
+        # (profiles mode has no prefilter).
+        assert pipeline.pairs_prefiltered == 0
+        assert (
+            pipeline.pairs_dispatched + pipeline.pairs_prefiltered
+            == result.comparisons_after_cleaning
+        )
 
     def test_front_fault_injection_dead_letters_entities(self):
         entities = make_entities(40)

@@ -175,7 +175,10 @@ class TestCompactDispatch:
         assert set(ids_table) == {1, 2, 3}  # the hub appears once, not twice
         assert all(isinstance(payload, array) for payload in ids_table.values())
         assert str_table == {}
-        assert pipeline.pairs_dispatched == 2
+        # Encoding is pure: dispatch accounting lives on the submit path,
+        # so a re-encoded chunk (supervised retry) cannot double-count.
+        pipeline._encode_chunk(chunk)
+        assert pipeline.pairs_dispatched == 0
 
     def test_encode_chunk_mixed_pair_falls_back_to_strings(self):
         from repro.comparison import InternedComparator
